@@ -1,0 +1,54 @@
+// E2 — §3.1 asymptotics: for one-way traffic the idle time on the bottleneck
+// vanishes as the buffer grows (the paper: "asymptotically the link idle
+// time decreases with increasing buffer size as B^-2"), the root of the
+// rule-of-thumb "add buffers to raise throughput" that two-way traffic
+// breaks (see bench_fig4_5).
+#include <iostream>
+#include <vector>
+
+#include "core/report.h"
+#include "core/scenarios.h"
+#include "util/table.h"
+
+using namespace tcpdyn;
+
+int main() {
+  int failures = 0;
+  util::Table t({"buffer (pkts)", "utilization", "idle fraction",
+                 "epoch interval"});
+  std::vector<double> idle;
+  for (std::size_t buffer : {10u, 20u, 40u, 80u}) {
+    core::Scenario sc = core::fig2_one_way(3, 1.0, buffer);
+    // Longer cycles at large buffers need a longer run to see many epochs.
+    sc.duration = sim::Time::seconds(1200.0);
+    core::ScenarioSummary s = core::run_scenario(sc);
+    idle.push_back(1.0 - s.util_fwd);
+    t.add_row({std::to_string(buffer), util::fmt_pct(s.util_fwd),
+               util::fmt_pct(1.0 - s.util_fwd),
+               util::fmt(s.epochs.mean_interval, 1) + "s"});
+  }
+  std::cout << "§3.1 one-way: idle time vs buffer size (paper: idle -> 0, "
+               "roughly as B^-2)\n";
+  t.print(std::cout);
+
+  // Shape checks: idle strictly decreasing, and large-buffer idle is small.
+  for (std::size_t i = 1; i < idle.size(); ++i) {
+    if (idle[i] > idle[i - 1] + 0.01) {
+      ++failures;
+      std::cout << "CLAIM FAILED: idle time must decrease with buffer size\n";
+    }
+  }
+  if (idle.back() > 0.06) {
+    ++failures;
+    std::cout << "CLAIM FAILED: idle should be <6% at buffer 80\n";
+  }
+  // B^-2 shape: quadrupling the buffer from 20 to 80 should cut idle by much
+  // more than half (B^-2 predicts ~16x).
+  if (idle.back() > 0.5 * idle[1]) {
+    ++failures;
+    std::cout << "CLAIM FAILED: idle(B=80) should be far below idle(B=20)\n";
+  }
+  std::cout << "bench_oneway_buffer_sweep: "
+            << (failures == 0 ? "OK" : "FAILURES") << "\n";
+  return failures == 0 ? 0 : 1;
+}

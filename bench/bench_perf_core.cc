@@ -1,0 +1,68 @@
+// E13 — simulator performance (google-benchmark): event-scheduler hot path,
+// drop-tail queue operations, and end-to-end simulated-seconds-per-wallclock
+// throughput of the full two-way TCP configuration.
+#include <benchmark/benchmark.h>
+
+#include "core/scenarios.h"
+#include "net/queue.h"
+#include "sim/simulator.h"
+
+using namespace tcpdyn;
+
+namespace {
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      s.schedule(sim::Time::microseconds(i % 1000), [] {});
+    }
+    s.run_all();
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_QueuePushPop(benchmark::State& state) {
+  net::DropTailQueue q(net::QueueLimit::of(64));
+  net::Packet p;
+  p.size_bytes = 500;
+  for (auto _ : state) {
+    for (int i = 0; i < 32; ++i) q.push(p);
+    for (int i = 0; i < 32; ++i) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_QueuePushPop);
+
+void BM_TwoWayTahoeSimSecond(benchmark::State& state) {
+  // Wall-clock cost of one simulated second of the Figs. 4-5 configuration.
+  for (auto _ : state) {
+    core::Scenario sc = core::fig4_twoway(0.01, 20);
+    sc.warmup = sim::Time::seconds(0.0);
+    sc.duration = sim::Time::seconds(static_cast<double>(state.range(0)));
+    core::ScenarioSummary s = core::run_scenario(sc);
+    benchmark::DoNotOptimize(s.util_fwd);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel("simulated seconds per iteration");
+}
+BENCHMARK(BM_TwoWayTahoeSimSecond)->Arg(10)->Arg(100);
+
+void BM_TenConnChainSimSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    core::Scenario sc = core::four_switch_chain(50, 7);
+    sc.warmup = sim::Time::seconds(0.0);
+    sc.duration = sim::Time::seconds(static_cast<double>(state.range(0)));
+    core::ScenarioSummary s = core::run_scenario(sc);
+    benchmark::DoNotOptimize(s.util_fwd);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TenConnChainSimSecond)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Building a custom topology with the public API: the §5 four-switch chain,
+// assembled by hand (rather than via core::four_switch_chain) to show each
+// step — nodes, duplex links, routes, connections, monitors — and then
+// analyzed for the paper's two phenomena.
+#include <iostream>
+
+#include "core/analysis.h"
+#include "core/experiment.h"
+#include "util/table.h"
+
+int main() {
+  using namespace tcpdyn;
+
+  core::Experiment exp;
+  auto& net = exp.network();
+
+  // 1. Nodes: four switches in a chain, one host per switch.
+  std::vector<net::NodeId> sw, hosts;
+  for (int i = 1; i <= 4; ++i) {
+    sw.push_back(net.add_switch("S" + std::to_string(i)));
+    hosts.push_back(net.add_host("H" + std::to_string(i)));
+  }
+
+  // 2. Links: 10 Mbps access links, 50 Kbps trunks with 30-packet buffers.
+  const auto inf = net::QueueLimit::infinite();
+  const auto trunk_buf = net::QueueLimit::of(30);
+  for (int i = 0; i < 4; ++i) {
+    net.connect(hosts[static_cast<std::size_t>(i)],
+                sw[static_cast<std::size_t>(i)], 10'000'000,
+                sim::Time::microseconds(100), inf, inf);
+  }
+  for (int i = 0; i < 3; ++i) {
+    net.connect(sw[static_cast<std::size_t>(i)],
+                sw[static_cast<std::size_t>(i + 1)], 50'000,
+                sim::Time::seconds(0.01), trunk_buf, trunk_buf);
+  }
+
+  // 3. Static shortest-path routes, then attach monitors to every trunk.
+  net.compute_routes();
+  for (int i = 0; i < 3; ++i) {
+    exp.monitor(sw[static_cast<std::size_t>(i)],
+                sw[static_cast<std::size_t>(i + 1)]);
+    exp.monitor(sw[static_cast<std::size_t>(i + 1)],
+                sw[static_cast<std::size_t>(i)]);
+  }
+
+  // 4. Twelve Tahoe connections with 1-, 2-, and 3-hop paths, both
+  //    directions, staggered starts.
+  struct Flow { int src, dst; };
+  const std::vector<Flow> flows = {
+      {0, 1}, {1, 0}, {1, 2}, {2, 1},          // 1 hop
+      {0, 2}, {2, 0}, {1, 3}, {3, 1},          // 2 hops
+      {0, 3}, {3, 0}, {0, 3}, {3, 0},          // 3 hops
+  };
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    tcp::ConnectionConfig cfg;
+    cfg.id = static_cast<net::ConnId>(i);
+    cfg.src_host = hosts[static_cast<std::size_t>(flows[i].src)];
+    cfg.dst_host = hosts[static_cast<std::size_t>(flows[i].dst)];
+    cfg.start_time = sim::Time::seconds(0.31 * static_cast<double>(i));
+    exp.add_connection(cfg);
+  }
+
+  // 5. Run and analyze.
+  const core::ExperimentResult r =
+      exp.run(sim::Time::seconds(60.0), sim::Time::seconds(240.0));
+
+  util::Table t({"trunk", "utilization", "max queue", "burst rise (pkt/tx)",
+                 "sync vs reverse"});
+  for (std::size_t i = 0; i < r.ports.size(); i += 2) {
+    const auto f = core::rapid_fluctuations(r.ports[i].queue, r.t_start,
+                                            r.t_end, r.data_tx_time);
+    const auto sync = core::classify_sync(r.ports[i].queue,
+                                          r.ports[i + 1].queue, r.t_start,
+                                          r.t_end);
+    t.add_row({r.ports[i].name, util::fmt_pct(r.ports[i].utilization),
+               util::fmt(r.ports[i].queue.max_in(r.t_start, r.t_end), 0),
+               util::fmt(f.max_burst_rise, 0),
+               core::to_string(sync.mode)});
+  }
+  std::cout << "Four-switch chain, 12 connections (1-3 hop paths)\n";
+  t.print(std::cout);
+
+  std::cout << "\nPer-connection goodput over the 240 s window:\n";
+  util::Table g({"conn", "path", "delivered (pkts)", "ACK gaps compressed"});
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const auto id = static_cast<net::ConnId>(i);
+    const auto a = core::ack_compression(r.ack_arrivals.at(id), r.t_start,
+                                         r.t_end, r.data_tx_time);
+    g.add_row({std::to_string(i),
+               "H" + std::to_string(flows[i].src + 1) + "->H" +
+                   std::to_string(flows[i].dst + 1),
+               std::to_string(r.delivered.at(id)),
+               util::fmt_pct(a.compressed_fraction)});
+  }
+  g.print(std::cout);
+  std::cout << "\nEven in this multi-hop topology the two-way phenomena of\n"
+               "the paper — rapid ACK-compression bursts and out-of-phase\n"
+               "trunk queues — are plainly visible.\n";
+  return 0;
+}

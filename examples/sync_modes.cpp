@@ -1,0 +1,63 @@
+// The two synchronization modes of two-way Tahoe traffic (paper §4.3):
+//   * small pipe (tau = 0.01 s): OUT-OF-PHASE — one window rises while the
+//     other falls; the loser of each congestion epoch takes both drops and
+//     alternates; throughput stays ~70% no matter how big the buffers are.
+//   * large pipe (tau = 1 s): IN-PHASE — windows and queues rise and fall
+//     together; each connection loses one packet per epoch.
+// The mode is decided by the fixed-window dichotomy of §4.3.3:
+// W1 > W2 + 2P at the congestion epoch => out-of-phase.
+#include <iostream>
+
+#include "core/report.h"
+#include "core/scenarios.h"
+#include "util/table.h"
+
+namespace {
+
+void run_case(const char* title, tcpdyn::core::Scenario scenario) {
+  using namespace tcpdyn;
+  core::ScenarioSummary s = core::run_scenario(scenario);
+  std::cout << "=== " << title << " ===\n";
+  core::print_queue_chart(std::cout, s.result.ports[0].queue,
+                          s.result.t_start, s.result.t_start + 60.0, 110, 8,
+                          "queue at switch 1");
+  core::print_queue_chart(std::cout, s.result.ports[1].queue,
+                          s.result.t_start, s.result.t_start + 60.0, 110, 8,
+                          "queue at switch 2");
+  util::Table t({"metric", "value"});
+  t.add_row({"queue sync", std::string(core::to_string(s.queue_sync.mode)) +
+                               " (rho=" + util::fmt(s.queue_sync.correlation) +
+                               ")"});
+  t.add_row({"window sync", std::string(core::to_string(s.cwnd_sync.mode)) +
+                                " (rho=" + util::fmt(s.cwnd_sync.correlation) +
+                                ")"});
+  t.add_row({"utilization", util::fmt_pct(s.util_fwd) + " / " +
+                                util::fmt_pct(s.util_rev)});
+  t.add_row({"drops per epoch", util::fmt(s.epochs.mean_drops_per_epoch)});
+  t.add_row({"single-loser epochs",
+             util::fmt_pct(s.epochs.single_loser_fraction)});
+  t.add_row({"loser alternation",
+             util::fmt_pct(s.epochs.loser_alternation_fraction)});
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  using namespace tcpdyn;
+  run_case("small pipe: tau = 0.01 s, P = 0.125 packets (Figs. 4-5)",
+           core::fig4_twoway(0.01, 20));
+  run_case("large pipe: tau = 1 s, P = 12.5 packets (Figs. 6-7)",
+           core::fig6_twoway(1.0, 20));
+
+  std::cout <<
+      "Interpretation (paper §4.3.3): at each congestion epoch the loser is\n"
+      "decided by the fixed-window dichotomy. With a small pipe the buffers\n"
+      "let the windows drift far apart (W1 > W2 + 2P), so only the larger\n"
+      "connection's queue can overflow: it takes both drops, collapses, and\n"
+      "the roles swap — out-of-phase. With a large pipe the criterion fails\n"
+      "(W1 < W2 + 2P), both queues peak together, both connections lose one\n"
+      "packet, and the cycles stay in-phase.\n";
+  return 0;
+}

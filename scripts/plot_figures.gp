@@ -1,0 +1,55 @@
+# Re-plot the paper's figures from the CSV traces written by
+#   ./build/examples/trace_export tcpdyn_traces
+# Run with:
+#   gnuplot -e "dir='tcpdyn_traces'" scripts/plot_figures.gp
+# Produces PNG files next to the CSVs.
+
+if (!exists("dir")) dir = "tcpdyn_traces"
+
+set datafile separator ","
+set terminal pngcairo size 1100,420 font ",10"
+set key off
+set xlabel "time (s)"
+set ylabel "queue length (packets)"
+
+# Fig. 2: one-way traffic, queue at the bottleneck switch.
+set output dir."/fig2_queue.png"
+set title "Fig. 2 — one-way, 3 connections, tau = 1 s (queue at switch 1)"
+plot dir."/fig2_queue_S1__S2.csv" using 1:2 with steps lw 1
+
+# Fig. 3: ten connections, both switch queues.
+set output dir."/fig3_queues.png"
+set title "Fig. 3 — 5+5 connections, tau = 0.01 s"
+plot dir."/fig3_queue_S1__S2.csv" using 1:2 with steps lw 1, \
+     dir."/fig3_queue_S2__S1.csv" using 1:2 with steps lw 1
+
+# Figs. 4: two-way traffic, square waves (ACK-compression).
+set output dir."/fig4_queues.png"
+set title "Figs. 4 — two-way, tau = 0.01 s"
+plot dir."/fig4_5_queue_S1__S2.csv" using 1:2 with steps lw 1, \
+     dir."/fig4_5_queue_S2__S1.csv" using 1:2 with steps lw 1
+
+# Fig. 5: out-of-phase congestion windows.
+set output dir."/fig5_cwnd.png"
+set title "Fig. 5 — cwnd of the two connections (out-of-phase)"
+set ylabel "cwnd (packets)"
+plot dir."/fig4_5_cwnd.csv" using 1:($2==0?$3:1/0) with steps lw 1, \
+     dir."/fig4_5_cwnd.csv" using 1:($2==1?$3:1/0) with steps lw 1
+
+# Fig. 7: in-phase congestion windows (tau = 1 s).
+set output dir."/fig7_cwnd.png"
+set title "Fig. 7 — cwnd of the two connections (in-phase)"
+plot dir."/fig6_7_cwnd.csv" using 1:($2==0?$3:1/0) with steps lw 1, \
+     dir."/fig6_7_cwnd.csv" using 1:($2==1?$3:1/0) with steps lw 1
+
+# Figs. 8-9: fixed-window square waves.
+set ylabel "queue length (packets)"
+set output dir."/fig8_queues.png"
+set title "Fig. 8 — fixed windows 30/25, tau = 0.01 s, infinite buffers"
+plot dir."/fig8_queue_S1__S2.csv" using 1:2 with steps lw 1, \
+     dir."/fig8_queue_S2__S1.csv" using 1:2 with steps lw 1
+
+set output dir."/fig9_queues.png"
+set title "Fig. 9 — fixed windows 30/25, tau = 1 s, infinite buffers"
+plot dir."/fig9_queue_S1__S2.csv" using 1:2 with steps lw 1, \
+     dir."/fig9_queue_S2__S1.csv" using 1:2 with steps lw 1

@@ -1,0 +1,50 @@
+#include "core/chain.h"
+
+#include <string>
+
+namespace tcpdyn::core {
+
+ChainHandles build_chain(Experiment& exp, const ChainParams& p) {
+  auto& net = exp.network();
+  ChainHandles h;
+  for (std::size_t i = 0; i < p.switches; ++i) {
+    h.switches.push_back(net.add_switch("S" + std::to_string(i + 1)));
+    h.hosts.push_back(net.add_host("H" + std::to_string(i + 1)));
+  }
+  for (std::size_t i = 0; i < p.switches; ++i) {
+    net.connect(h.hosts[i], h.switches[i], p.access_bps, p.access_delay,
+                p.access_buffer, p.access_buffer);
+    if (i + 1 < p.switches) {
+      net.connect(h.switches[i], h.switches[i + 1], p.trunk_bps,
+                  p.trunk_delay, p.trunk_buffer, p.trunk_buffer);
+    }
+  }
+  net.compute_routes();
+  for (std::size_t i = 0; i + 1 < p.switches; ++i) {
+    exp.monitor(h.switches[i], h.switches[i + 1]);
+    exp.monitor(h.switches[i + 1], h.switches[i]);
+  }
+  return h;
+}
+
+void add_chain_connections(Experiment& exp, const ChainHandles& h,
+                           std::size_t count, std::uint64_t seed,
+                           sim::Time start_spread) {
+  util::Rng rng(seed);
+  const std::size_t n = h.hosts.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    // Path length cycles 1, 2, ..., n-1 so lengths are equally represented.
+    const std::size_t hops = 1 + i % (n - 1);
+    const std::size_t src = rng.next_below(n - hops);
+    const std::size_t dst = src + hops;
+    const bool forward = rng.next_double() < 0.5;
+    tcp::ConnectionConfig cfg;
+    cfg.id = static_cast<net::ConnId>(i);
+    cfg.src_host = forward ? h.hosts[src] : h.hosts[dst];
+    cfg.dst_host = forward ? h.hosts[dst] : h.hosts[src];
+    cfg.start_time = sim::Time::seconds(rng.uniform(0.0, start_spread.sec()));
+    exp.add_connection(cfg);
+  }
+}
+
+}  // namespace tcpdyn::core

@@ -1,0 +1,44 @@
+// The §5 / [19] style multi-hop topology: N switches in a chain, one host
+// per switch, with a traffic pattern of many connections whose paths span
+// 1..N-1 inter-switch hops. Used to show that ACK-compression and
+// out-of-phase synchronization persist beyond the single-bottleneck case.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.h"
+#include "tcp/connection.h"
+#include "util/rng.h"
+
+namespace tcpdyn::core {
+
+struct ChainParams {
+  std::size_t switches = 4;
+  std::int64_t trunk_bps = 50'000;                     // inter-switch links
+  sim::Time trunk_delay = sim::Time::seconds(0.01);
+  net::QueueLimit trunk_buffer = net::QueueLimit::of(30);
+  std::int64_t access_bps = 10'000'000;
+  sim::Time access_delay = sim::Time::microseconds(100);
+  net::QueueLimit access_buffer = net::QueueLimit::infinite();
+};
+
+struct ChainHandles {
+  std::vector<net::NodeId> hosts;     // hosts[i] attached to switches[i]
+  std::vector<net::NodeId> switches;
+};
+
+// Builds the chain, computes routes, and monitors every inter-switch port
+// (both directions): ExperimentResult ports are ordered
+// S1->S2, S2->S1, S2->S3, S3->S2, ...
+ChainHandles build_chain(Experiment& exp, const ChainParams& params);
+
+// Generates `count` Tahoe connections whose inter-switch path lengths cycle
+// through 1..switches-1 ("roughly equally split between 1, 2, and 3 hops"
+// for a 4-switch chain). Endpoints and direction chosen deterministically
+// from `seed`; start times jittered within [0, start_spread).
+void add_chain_connections(Experiment& exp, const ChainHandles& handles,
+                           std::size_t count, std::uint64_t seed,
+                           sim::Time start_spread = sim::Time::seconds(1.0));
+
+}  // namespace tcpdyn::core

@@ -1,0 +1,64 @@
+#include "core/csv_export.h"
+
+#include <algorithm>
+
+#include "util/csv.h"
+
+namespace tcpdyn::core {
+
+namespace {
+std::string sanitize(std::string name) {
+  std::replace_if(
+      name.begin(), name.end(),
+      [](char c) { return c == '-' || c == '>' || c == '/'; }, '_');
+  return name;
+}
+}  // namespace
+
+std::vector<std::string> export_csv(const ExperimentResult& result,
+                                    const std::string& directory,
+                                    const std::string& prefix) {
+  std::vector<std::string> written;
+  const std::string base = directory + "/" + prefix;
+
+  for (const PortTrace& port : result.ports) {
+    const std::string path = base + "_queue_" + sanitize(port.name) + ".csv";
+    util::CsvWriter w(path, {"time_s", "packets"});
+    for (const auto& pt : port.queue.points()) {
+      w.row({pt.time, pt.value});
+    }
+    written.push_back(path);
+  }
+  {
+    const std::string path = base + "_cwnd.csv";
+    util::CsvWriter w(path, {"time_s", "conn", "cwnd"});
+    for (const auto& [conn, series] : result.cwnd) {
+      for (const auto& pt : series.points()) {
+        w.row({pt.time, static_cast<double>(conn), pt.value});
+      }
+    }
+    written.push_back(path);
+  }
+  {
+    const std::string path = base + "_drops.csv";
+    util::CsvWriter w(path, {"time_s", "conn", "data", "seq", "port"});
+    for (const DropEvent& d : result.drops) {
+      w.row({std::to_string(d.time), std::to_string(d.conn),
+             d.data ? "1" : "0", std::to_string(d.seq), d.port});
+    }
+    written.push_back(path);
+  }
+  {
+    const std::string path = base + "_ack_arrivals.csv";
+    util::CsvWriter w(path, {"time_s", "conn"});
+    for (const auto& [conn, times] : result.ack_arrivals) {
+      for (double t : times) {
+        w.row({t, static_cast<double>(conn)});
+      }
+    }
+    written.push_back(path);
+  }
+  return written;
+}
+
+}  // namespace tcpdyn::core

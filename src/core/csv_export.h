@@ -1,0 +1,24 @@
+// Exports ExperimentResult traces to CSV files so the paper's figures can be
+// re-plotted with external tooling (gnuplot/matplotlib). One file per trace
+// kind, prefixed with the scenario name.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace tcpdyn::core {
+
+// Writes into `directory` (which must exist):
+//   <prefix>_queue_<port>.csv   : time_s, packets        (per monitored port)
+//   <prefix>_cwnd.csv           : time_s, conn, cwnd
+//   <prefix>_drops.csv          : time_s, conn, data, seq, port
+//   <prefix>_ack_arrivals.csv   : time_s, conn
+// Returns the paths written. Port names have '-' and '>' mapped to '_' to
+// stay filesystem-friendly.
+std::vector<std::string> export_csv(const ExperimentResult& result,
+                                    const std::string& directory,
+                                    const std::string& prefix);
+
+}  // namespace tcpdyn::core

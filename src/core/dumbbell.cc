@@ -1,0 +1,72 @@
+#include "core/dumbbell.h"
+
+namespace tcpdyn::core {
+
+DumbbellHandles build_dumbbell(Experiment& exp, const DumbbellParams& p) {
+  auto& net = exp.network();
+  DumbbellHandles h;
+  h.host1 = net.add_host("H1");
+  h.host2 = net.add_host("H2");
+  h.switch1 = net.add_switch("S1");
+  h.switch2 = net.add_switch("S2");
+  net.connect(h.host1, h.switch1, p.access_bps, p.access_delay,
+              p.access_buffer, p.access_buffer);
+  net.connect(h.switch1, h.switch2, p.bottleneck_bps, p.tau, p.buffer_fwd,
+              p.buffer_rev, p.bottleneck_policy);
+  net.connect(h.switch2, h.host2, p.access_bps, p.access_delay,
+              p.access_buffer, p.access_buffer);
+  net.compute_routes();
+  exp.monitor(h.switch1, h.switch2);
+  exp.monitor(h.switch2, h.switch1);
+  return h;
+}
+
+MultiHostHandles build_multihost_dumbbell(
+    Experiment& exp, const DumbbellParams& p,
+    const std::vector<sim::Time>& access_delays) {
+  auto& net = exp.network();
+  MultiHostHandles h;
+  h.switch1 = net.add_switch("S1");
+  h.switch2 = net.add_switch("S2");
+  net.connect(h.switch1, h.switch2, p.bottleneck_bps, p.tau, p.buffer_fwd,
+              p.buffer_rev, p.bottleneck_policy);
+  for (std::size_t i = 0; i < access_delays.size(); ++i) {
+    const std::string n = std::to_string(i + 1);
+    const net::NodeId src = net.add_host("A" + n);
+    const net::NodeId dst = net.add_host("B" + n);
+    net.connect(src, h.switch1, p.access_bps, access_delays[i],
+                p.access_buffer, p.access_buffer);
+    net.connect(h.switch2, dst, p.access_bps, access_delays[i],
+                p.access_buffer, p.access_buffer);
+    h.sources.push_back(src);
+    h.sinks.push_back(dst);
+  }
+  net.compute_routes();
+  exp.monitor(h.switch1, h.switch2);
+  exp.monitor(h.switch2, h.switch1);
+  return h;
+}
+
+void add_dumbbell_connections(Experiment& exp, const DumbbellHandles& h,
+                              const std::vector<DumbbellConn>& conns) {
+  net::ConnId id = 0;
+  for (const auto& c : conns) {
+    tcp::ConnectionConfig cfg;
+    cfg.id = id++;
+    cfg.src_host = c.forward ? h.host1 : h.host2;
+    cfg.dst_host = c.forward ? h.host2 : h.host1;
+    cfg.kind = c.kind;
+    cfg.fixed_window = c.fixed_window;
+    cfg.data_bytes = c.data_bytes;
+    cfg.ack_bytes = c.ack_bytes;
+    cfg.maxwnd = c.maxwnd;
+    cfg.delayed_ack = c.delayed_ack;
+    cfg.pacing_interval = c.pacing_interval;
+    cfg.start_time = c.start_time;
+    cfg.tahoe = c.tahoe;
+    cfg.reno = c.reno;
+    exp.add_connection(cfg);
+  }
+}
+
+}  // namespace tcpdyn::core

@@ -1,0 +1,121 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace tcpdyn::core {
+
+void Experiment::hook_host(net::NodeId host_id) {
+  if (std::find(hooked_hosts_.begin(), hooked_hosts_.end(), host_id) !=
+      hooked_hosts_.end()) {
+    return;
+  }
+  hooked_hosts_.push_back(host_id);
+  net_.host(host_id).on_deliver = [this](sim::Time t, const net::Packet& p) {
+    if (net::is_ack(p)) ack_arrivals_[p.conn].push_back(t.sec());
+  };
+}
+
+tcp::Connection& Experiment::add_connection(
+    const tcp::ConnectionConfig& config) {
+  if (ran_) throw std::logic_error("Experiment already ran");
+  conns_.push_back(std::make_unique<tcp::Connection>(net_, config));
+  tcp::Connection& conn = *conns_.back();
+
+  // cwnd trace (adaptive senders only): seed with the initial value at start
+  // time so the step function is defined from the beginning.
+  if (auto* tahoe = conn.tahoe()) {
+    cwnd_[config.id].record(config.start_time.sec(), tahoe->cwnd());
+    tahoe->on_cwnd_change = [this, id = config.id](sim::Time t, double w) {
+      cwnd_[id].record(t.sec(), w);
+    };
+  } else if (auto* reno = conn.reno()) {
+    cwnd_[config.id].record(config.start_time.sec(), reno->cwnd());
+    reno->on_cwnd_change = [this, id = config.id](sim::Time t, double w) {
+      cwnd_[id].record(t.sec(), w);
+    };
+  }
+  conn.sender().on_rtt_sample = [this, id = config.id](sim::Time t,
+                                                       sim::Time rtt) {
+    rtt_samples_[id].emplace_back(t.sec(), rtt.sec());
+  };
+  // ACK arrival instrumentation lives on the source host.
+  hook_host(config.src_host);
+  ack_arrivals_.try_emplace(config.id);
+  return conn;
+}
+
+void Experiment::monitor(net::NodeId from, net::NodeId to) {
+  if (ran_) throw std::logic_error("Experiment already ran");
+  net::OutputPort* port = net_.port_between(from, to);
+  if (port == nullptr) {
+    throw std::logic_error("monitor: no link between the given nodes");
+  }
+  auto mp = std::make_unique<MonitoredPort>();
+  mp->port = port;
+  mp->queue.record(0.0, 0.0);
+  auto* raw = mp.get();
+  port->on_queue_change = [raw](sim::Time t, std::size_t len) {
+    raw->queue.record(t.sec(), static_cast<double>(len));
+  };
+  port->on_depart = [raw](sim::Time t, const net::Packet& p) {
+    raw->departures.push_back({t.sec(), p.conn, net::is_data(p)});
+  };
+  port->on_drop = [this, raw](sim::Time t, const net::Packet& p) {
+    drops_.push_back(
+        {t.sec(), p.conn, net::is_data(p), p.seq, raw->port->name()});
+  };
+  monitored_.push_back(std::move(mp));
+}
+
+ExperimentResult Experiment::run(sim::Time warmup, sim::Time duration) {
+  if (ran_) throw std::logic_error("Experiment already ran");
+  ran_ = true;
+
+  // Snapshot per-receiver delivery counts at the start of the measurement
+  // window so `delivered` covers only the window.
+  std::map<net::ConnId, std::uint64_t> delivered_at_warmup;
+  sim_.schedule(warmup, [this, &delivered_at_warmup] {
+    for (auto& c : conns_) {
+      delivered_at_warmup[c->config().id] = c->receiver().next_expected();
+    }
+  });
+
+  const sim::Time end = warmup + duration;
+  sim_.run_until(end);
+
+  ExperimentResult r;
+  r.t_start = warmup.sec();
+  r.t_end = end.sec();
+  for (auto& mp : monitored_) {
+    PortTrace pt;
+    pt.name = mp->port->name();
+    pt.queue = std::move(mp->queue);
+    pt.utilization = mp->port->utilization(warmup, end);
+    pt.counters = mp->port->counters();
+    pt.departures = std::move(mp->departures);
+    r.ports.push_back(std::move(pt));
+  }
+  if (!r.ports.empty() && !conns_.empty()) {
+    r.data_tx_time =
+        sim::Time::transmission(conns_.front()->config().data_bytes,
+                                monitored_.front()->port->bits_per_second())
+            .sec();
+  }
+  r.drops = std::move(drops_);
+  r.cwnd = std::move(cwnd_);
+  r.ack_arrivals = std::move(ack_arrivals_);
+  r.rtt_samples = std::move(rtt_samples_);
+  for (auto& c : conns_) {
+    const net::ConnId id = c->config().id;
+    r.senders[id] = c->sender().counters();
+    const std::uint64_t base = delivered_at_warmup.count(id)
+                                   ? delivered_at_warmup[id]
+                                   : 0;
+    r.delivered[id] = c->receiver().next_expected() - base;
+  }
+  return r;
+}
+
+}  // namespace tcpdyn::core

@@ -1,0 +1,111 @@
+// Experiment: owns a simulator, a network, and a set of connections, and
+// instruments designated ports (queue-length traces, drop events, departure
+// order) and all connections (cwnd traces, ACK arrival times at sources).
+// Running it produces an ExperimentResult that the analysis layer and the
+// bench harnesses consume.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "tcp/connection.h"
+#include "util/time_series.h"
+
+namespace tcpdyn::core {
+
+// One packet drop at a monitored port.
+struct DropEvent {
+  double time = 0.0;          // seconds
+  net::ConnId conn = 0;
+  bool data = true;           // false => ACK drop
+  std::uint32_t seq = 0;
+  std::string port;           // e.g. "S1->S2"
+};
+
+// One packet departing (starting transmission at) a monitored port.
+struct Departure {
+  double time = 0.0;
+  net::ConnId conn = 0;
+  bool data = true;
+};
+
+// Trace of one monitored transmit port.
+struct PortTrace {
+  std::string name;
+  util::TimeSeries queue;     // queue length in packets, event-driven
+  double utilization = 0.0;   // busy fraction over the measurement window
+  net::QueueCounters counters;
+  // Every packet departure in order (data and ACK): the paper's clustering
+  // claim is about consecutive queue occupants belonging to one connection,
+  // which in two-way traffic mixes one connection's data with the other's
+  // ACKs in the same queue.
+  std::vector<Departure> departures;
+};
+
+struct ExperimentResult {
+  double t_start = 0.0;       // measurement window start (sec)
+  double t_end = 0.0;         // measurement window end (sec)
+  double data_tx_time = 0.0;  // data-packet transmission time on port 0 (sec)
+  std::vector<PortTrace> ports;
+  std::vector<DropEvent> drops;                       // at monitored ports
+  std::map<net::ConnId, util::TimeSeries> cwnd;       // adaptive senders only
+  std::map<net::ConnId, std::vector<double>> ack_arrivals;  // at data sources
+  // Accepted RTT measurements per connection: (sample time, rtt), seconds.
+  std::map<net::ConnId, std::vector<std::pair<double, double>>> rtt_samples;
+  std::map<net::ConnId, tcp::SenderCounters> senders;
+  std::map<net::ConnId, std::uint64_t> delivered;     // in-order packets
+                                                      // delivered inside the
+                                                      // measurement window
+};
+
+class Experiment {
+ public:
+  Experiment() : net_(sim_) {}
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  sim::Simulator& sim() { return sim_; }
+  net::Network& network() { return net_; }
+
+  // Adds a connection (the network's routes must already be computed) and
+  // instruments it: cwnd trace for Tahoe senders, ACK-arrival trace at the
+  // source host.
+  tcp::Connection& add_connection(const tcp::ConnectionConfig& config);
+
+  std::size_t connection_count() const { return conns_.size(); }
+  tcp::Connection& connection(std::size_t i) { return *conns_.at(i); }
+
+  // Attaches queue/drop/departure tracing to the transmit port from->to.
+  // Ports are reported in ExperimentResult::ports in monitor() call order.
+  void monitor(net::NodeId from, net::NodeId to);
+
+  // Runs warmup + duration and returns traces/metrics for the measurement
+  // window [warmup, warmup + duration]. May be called once per Experiment.
+  ExperimentResult run(sim::Time warmup, sim::Time duration);
+
+ private:
+  struct MonitoredPort {
+    net::OutputPort* port;
+    util::TimeSeries queue;
+    std::vector<Departure> departures;
+  };
+
+  void hook_host(net::NodeId host_id);
+
+  sim::Simulator sim_;
+  net::Network net_;
+  std::vector<std::unique_ptr<tcp::Connection>> conns_;
+  std::vector<std::unique_ptr<MonitoredPort>> monitored_;
+  std::vector<DropEvent> drops_;
+  std::map<net::ConnId, util::TimeSeries> cwnd_;
+  std::map<net::ConnId, std::vector<double>> ack_arrivals_;
+  std::map<net::ConnId, std::vector<std::pair<double, double>>> rtt_samples_;
+  std::vector<net::NodeId> hooked_hosts_;
+  bool ran_ = false;
+};
+
+}  // namespace tcpdyn::core

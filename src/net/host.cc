@@ -1,0 +1,28 @@
+#include "net/host.h"
+
+#include <stdexcept>
+
+namespace tcpdyn::net {
+
+void Host::register_endpoint(ConnId conn, PacketKind kind, PacketSink* sink) {
+  endpoints_[key(conn, kind)] = sink;
+}
+
+void Host::send(Packet pkt) {
+  if (!port_) throw std::logic_error(name() + ": host has no access link");
+  port_->enqueue(std::move(pkt));
+}
+
+void Host::receive(Packet pkt) {
+  sim_.schedule(processing_delay_, [this, p = std::move(pkt)]() {
+    auto it = endpoints_.find(key(p.conn, p.kind));
+    if (it == endpoints_.end()) {
+      throw std::logic_error(name() + ": no endpoint for conn " +
+                             std::to_string(p.conn));
+    }
+    if (on_deliver) on_deliver(sim_.now(), p);
+    it->second->deliver(p);
+  });
+}
+
+}  // namespace tcpdyn::net

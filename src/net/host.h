@@ -1,0 +1,68 @@
+// Host: terminates transport endpoints. A host has a single access link
+// (one output port) and demultiplexes inbound packets to registered
+// endpoints by (connection id, packet kind): data packets go to the
+// connection's receiver, ACKs to its sender.
+//
+// The paper's 0.1 ms per-packet host processing time is modeled on the
+// receive path (between link delivery and endpoint delivery). Transmission
+// remains immediate on the send path, preserving the "nonpaced" property:
+// a source transmits the instant an ACK is processed.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "net/node.h"
+#include "net/packet.h"
+#include "net/port.h"
+#include "sim/simulator.h"
+
+namespace tcpdyn::net {
+
+// Transport-layer endpoint interface (implemented in tcpdyn::tcp).
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void deliver(const Packet& pkt) = 0;
+};
+
+class Host : public Node {
+ public:
+  Host(sim::Simulator& sim, NodeId id, std::string name,
+       sim::Time processing_delay)
+      : Node(id, std::move(name)),
+        sim_(sim),
+        processing_delay_(processing_delay) {}
+
+  // The access link's output port (owned by the host).
+  void set_port(std::unique_ptr<OutputPort> port) { port_ = std::move(port); }
+  OutputPort& port() { return *port_; }
+
+  // Registers the endpoint that should receive packets of `kind` belonging
+  // to connection `conn`. Overwrites any previous registration.
+  void register_endpoint(ConnId conn, PacketKind kind, PacketSink* sink);
+
+  // Transmits a transport-layer packet onto the access link immediately.
+  void send(Packet pkt);
+
+  void receive(Packet pkt) override;
+
+  // Optional hook: fired when a packet is delivered to an endpoint (after
+  // host processing). Used by the analysis layer to timestamp ACK arrivals
+  // at sources (ACK-compression measurements).
+  std::function<void(sim::Time, const Packet&)> on_deliver;
+
+ private:
+  sim::Simulator& sim_;
+  sim::Time processing_delay_;
+  std::unique_ptr<OutputPort> port_;
+  // Key: (conn << 1) | kind bit.
+  std::unordered_map<std::uint64_t, PacketSink*> endpoints_;
+
+  static std::uint64_t key(ConnId conn, PacketKind kind) {
+    return (static_cast<std::uint64_t>(conn) << 1) |
+           (kind == PacketKind::kAck ? 1u : 0u);
+  }
+};
+
+}  // namespace tcpdyn::net

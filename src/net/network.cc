@@ -1,0 +1,116 @@
+#include "net/network.h"
+
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace tcpdyn::net {
+
+NodeId Network::add_host(std::string name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(
+      {std::make_unique<Host>(sim_, id, std::move(name), host_processing_),
+       /*host=*/true});
+  adjacency_.emplace_back();
+  return id;
+}
+
+NodeId Network::add_switch(std::string name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back({std::make_unique<Switch>(id, std::move(name)),
+                    /*host=*/false});
+  adjacency_.emplace_back();
+  return id;
+}
+
+bool Network::is_host(NodeId id) const { return nodes_.at(id).host; }
+
+Host& Network::host(NodeId id) {
+  auto& slot = nodes_.at(id);
+  if (!slot.host) throw std::logic_error("node is not a host");
+  return static_cast<Host&>(*slot.node);
+}
+
+Switch& Network::switch_node(NodeId id) {
+  auto& slot = nodes_.at(id);
+  if (slot.host) throw std::logic_error("node is not a switch");
+  return static_cast<Switch&>(*slot.node);
+}
+
+void Network::connect(NodeId a, NodeId b, std::int64_t bits_per_second,
+                      sim::Time propagation_delay, QueueLimit queue_a_to_b,
+                      QueueLimit queue_b_to_a, DropPolicy policy) {
+  auto make_port = [&](NodeId from, NodeId to, QueueLimit limit) {
+    // Deterministic per-port seed so random-drop runs are reproducible.
+    const std::uint64_t seed =
+        (static_cast<std::uint64_t>(from) << 32) | (to + 1);
+    auto port = std::make_unique<OutputPort>(
+        sim_, nodes_[from].node->name() + "->" + nodes_[to].node->name(),
+        bits_per_second, propagation_delay, limit, policy, seed);
+    port->set_peer(nodes_[to].node.get());
+    OutputPort* raw = port.get();
+    if (nodes_[from].host) {
+      auto& h = static_cast<Host&>(*nodes_[from].node);
+      if (ports_.count({from, to}) || !adjacency_[from].empty()) {
+        throw std::logic_error("host " + h.name() + " already has a link");
+      }
+      h.set_port(std::move(port));
+    } else {
+      static_cast<Switch&>(*nodes_[from].node).add_port(std::move(port));
+    }
+    ports_[{from, to}] = raw;
+  };
+  make_port(a, b, queue_a_to_b);
+  make_port(b, a, queue_b_to_a);
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+}
+
+OutputPort* Network::port_between(NodeId from, NodeId to) {
+  auto it = ports_.find({from, to});
+  return it == ports_.end() ? nullptr : it->second;
+}
+
+void Network::compute_routes() {
+  constexpr std::size_t kUnreached = std::numeric_limits<std::size_t>::max();
+  for (NodeId dst = 0; dst < nodes_.size(); ++dst) {
+    if (!nodes_[dst].host) continue;
+    // BFS from the destination over the undirected topology.
+    std::vector<std::size_t> dist(nodes_.size(), kUnreached);
+    std::deque<NodeId> frontier{dst};
+    dist[dst] = 0;
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      for (NodeId v : adjacency_[u]) {
+        if (dist[v] == kUnreached) {
+          dist[v] = dist[u] + 1;
+          frontier.push_back(v);
+        }
+      }
+    }
+    // Each switch routes toward the first adjacent node strictly closer to
+    // the destination. The port toward that neighbour carries the traffic.
+    for (NodeId u = 0; u < nodes_.size(); ++u) {
+      if (nodes_[u].host || dist[u] == kUnreached || u == dst) continue;
+      auto& sw = static_cast<Switch&>(*nodes_[u].node);
+      for (NodeId v : adjacency_[u]) {
+        if (dist[v] + 1 == dist[u]) {
+          // Find the port index of u's port toward v.
+          OutputPort* p = port_between(u, v);
+          assert(p != nullptr);
+          for (std::size_t i = 0; i < sw.port_count(); ++i) {
+            if (&sw.port(i) == p) {
+              sw.set_route(dst, i);
+              break;
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tcpdyn::net

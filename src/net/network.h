@@ -1,0 +1,66 @@
+// Network: owns all nodes and links, builds topologies, and computes static
+// shortest-path routes. Covers the paper's configurations: the two-switch
+// dumbbell of Fig. 1 and the four-switch chain of §5, plus arbitrary graphs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/host.h"
+#include "net/switch_node.h"
+#include "sim/simulator.h"
+
+namespace tcpdyn::net {
+
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim,
+                   sim::Time host_processing = sim::Time::microseconds(100))
+      : sim_(sim), host_processing_(host_processing) {}
+
+  NodeId add_host(std::string name);
+  NodeId add_switch(std::string name);
+
+  // Creates a duplex link between a and b: one output port on each side,
+  // with independent buffers (paper: no buffer sharing between lines) and a
+  // shared discard discipline. A host may have at most one link (its access
+  // link).
+  void connect(NodeId a, NodeId b, std::int64_t bits_per_second,
+               sim::Time propagation_delay, QueueLimit queue_a_to_b,
+               QueueLimit queue_b_to_a,
+               DropPolicy policy = DropPolicy::kDropTail);
+
+  // Populates every switch's routing table with BFS shortest-path (hop
+  // count) next hops toward every host. Ties broken by link insertion
+  // order, deterministically. Must be called after all connect() calls.
+  void compute_routes();
+
+  Host& host(NodeId id);
+  Switch& switch_node(NodeId id);
+  bool is_host(NodeId id) const;
+  std::size_t node_count() const { return nodes_.size(); }
+
+  // The transmit port carrying traffic from `from` toward adjacent node
+  // `to`; null when no such link exists. This is the handle used to attach
+  // queue monitors and read utilization.
+  OutputPort* port_between(NodeId from, NodeId to);
+
+  sim::Simulator& sim() { return sim_; }
+
+ private:
+  struct NodeSlot {
+    std::unique_ptr<Node> node;
+    bool host = false;
+  };
+
+  sim::Simulator& sim_;
+  sim::Time host_processing_;
+  std::vector<NodeSlot> nodes_;
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::map<std::pair<NodeId, NodeId>, OutputPort*> ports_;  // (from,to) -> port
+};
+
+}  // namespace tcpdyn::net

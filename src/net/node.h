@@ -1,0 +1,28 @@
+// Abstract network node: anything a link can deliver packets to.
+#pragma once
+
+#include <string>
+
+#include "net/packet.h"
+
+namespace tcpdyn::net {
+
+class Node {
+ public:
+  Node(NodeId id, std::string name) : id_(id), name_(std::move(name)) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // Delivers a packet that has finished propagating over an inbound link.
+  virtual void receive(Packet pkt) = 0;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  NodeId id_;
+  std::string name_;
+};
+
+}  // namespace tcpdyn::net

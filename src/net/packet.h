@@ -1,0 +1,37 @@
+// Packet and identifier types shared across the network and transport layers.
+//
+// Following the paper (§2.1), sequence numbers and window sizes are measured
+// in units of maximum-size packets, not bytes: every data packet carries
+// exactly one sequence number. ACKs are cumulative ("next expected seq").
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace tcpdyn::net {
+
+using NodeId = std::uint32_t;
+using ConnId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+enum class PacketKind : std::uint8_t { kData, kAck };
+
+struct Packet {
+  std::uint64_t uid = 0;        // globally unique, assigned at creation
+  ConnId conn = 0;
+  PacketKind kind = PacketKind::kData;
+  std::uint32_t seq = 0;        // data: this packet's sequence number
+  std::uint32_t ack = 0;        // ack: next sequence expected by receiver
+  std::uint32_t size_bytes = 0;
+  NodeId src = kInvalidNode;    // originating host
+  NodeId dst = kInvalidNode;    // destination host
+  sim::Time created;            // send time at the originating transport
+  bool retransmit = false;      // data: this is a retransmission
+};
+
+inline bool is_data(const Packet& p) { return p.kind == PacketKind::kData; }
+inline bool is_ack(const Packet& p) { return p.kind == PacketKind::kAck; }
+
+}  // namespace tcpdyn::net

@@ -1,0 +1,84 @@
+#include "net/port.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace tcpdyn::net {
+
+OutputPort::OutputPort(sim::Simulator& sim, std::string name,
+                       std::int64_t bits_per_second,
+                       sim::Time propagation_delay, QueueLimit limit,
+                       DropPolicy policy, std::uint64_t drop_seed)
+    : sim_(sim),
+      name_(std::move(name)),
+      bits_per_second_(bits_per_second),
+      propagation_delay_(propagation_delay),
+      queue_(limit, policy, drop_seed) {
+  assert(bits_per_second > 0);
+}
+
+void OutputPort::enqueue(Packet pkt) {
+  // The head packet is in service on the wire while transmitting_ and must
+  // not be selected as a random-drop victim.
+  const EnqueueResult result = queue_.offer(std::move(pkt), transmitting_);
+  if (result.dropped.has_value() && on_drop) {
+    on_drop(sim_.now(), *result.dropped);
+  }
+  if (result.accepted && !result.dropped.has_value() && on_queue_change) {
+    on_queue_change(sim_.now(), queue_.length());
+  }
+  if (!transmitting_ && !queue_.empty()) start_transmission();
+}
+
+void OutputPort::start_transmission() {
+  assert(!queue_.empty());
+  transmitting_ = true;
+  const Packet& head = queue_.front();
+  const sim::Time now = sim_.now();
+  // Extend the previous busy interval when transmission is back-to-back,
+  // otherwise open a new one.
+  if (!busy_.empty() && busy_.back().end == now) {
+    busy_.back().end = sim::Time::max();
+  } else {
+    busy_.push_back({now, sim::Time::max()});
+  }
+  if (on_depart) on_depart(now, head);
+  sim_.schedule(transmission_time(head), [this] { finish_transmission(); });
+}
+
+void OutputPort::finish_transmission() {
+  assert(transmitting_);
+  transmitting_ = false;
+  busy_.back().end = sim_.now();
+  std::optional<Packet> pkt = queue_.pop();
+  assert(pkt.has_value());
+  if (on_queue_change) on_queue_change(sim_.now(), queue_.length());
+  if (peer_ != nullptr) {
+    // Propagation: error-free delivery after the fixed delay. Capture the
+    // packet by value; the port does not track in-flight packets.
+    sim_.schedule(propagation_delay_,
+                  [peer = peer_, p = std::move(*pkt)]() mutable {
+                    peer->receive(std::move(p));
+                  });
+  }
+  if (!queue_.empty()) start_transmission();
+}
+
+sim::Time OutputPort::busy_in(sim::Time from, sim::Time to) const {
+  sim::Time total = sim::Time::zero();
+  for (const auto& iv : busy_) {
+    const sim::Time start = std::max(iv.start, from);
+    const sim::Time end = std::min(iv.end == sim::Time::max() ? sim_.now() : iv.end, to);
+    if (end > start) total += end - start;
+  }
+  return total;
+}
+
+double OutputPort::utilization(sim::Time from, sim::Time to) const {
+  if (to <= from) return 0.0;
+  return static_cast<double>(busy_in(from, to).ns()) /
+         static_cast<double>((to - from).ns());
+}
+
+}  // namespace tcpdyn::net

@@ -1,0 +1,78 @@
+// OutputPort: a drop-tail queue feeding a simplex transmitter. Models
+// store-and-forward serialization at `bits_per_second` followed by a fixed
+// propagation delay to the peer node. Error-free transmission (paper §2.2).
+//
+// Observability: the port exposes counters, a busy-interval record for exact
+// utilization computation, and optional hooks fired on queue-length change,
+// packet departure (start of transmission, which fixes the departure order
+// used by the clustering analysis), and drop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/node.h"
+#include "net/packet.h"
+#include "net/queue.h"
+#include "sim/simulator.h"
+
+namespace tcpdyn::net {
+
+// Closed interval during which the transmitter was serializing packets.
+struct BusyInterval {
+  sim::Time start;
+  sim::Time end;
+};
+
+class OutputPort {
+ public:
+  OutputPort(sim::Simulator& sim, std::string name,
+             std::int64_t bits_per_second, sim::Time propagation_delay,
+             QueueLimit limit, DropPolicy policy = DropPolicy::kDropTail,
+             std::uint64_t drop_seed = 1);
+
+  void set_peer(Node* peer) { peer_ = peer; }
+
+  // Enqueues for transmission; starts the transmitter if idle. Drops (and
+  // fires on_drop) when the buffer is full.
+  void enqueue(Packet pkt);
+
+  const std::string& name() const { return name_; }
+  std::int64_t bits_per_second() const { return bits_per_second_; }
+  sim::Time propagation_delay() const { return propagation_delay_; }
+  std::size_t queue_length() const { return queue_.length(); }
+  const QueueCounters& counters() const { return queue_.counters(); }
+
+  // Serialization time of one packet on this port's line.
+  sim::Time transmission_time(const Packet& pkt) const {
+    return sim::Time::transmission(pkt.size_bytes, bits_per_second_);
+  }
+
+  // Total time the transmitter was busy within [from, to].
+  sim::Time busy_in(sim::Time from, sim::Time to) const;
+
+  // Busy fraction of [from, to]; 0 for an empty window.
+  double utilization(sim::Time from, sim::Time to) const;
+
+  // Hooks (any may be left unset).
+  std::function<void(sim::Time, std::size_t)> on_queue_change;
+  std::function<void(sim::Time, const Packet&)> on_depart;
+  std::function<void(sim::Time, const Packet&)> on_drop;
+
+ private:
+  void start_transmission();
+  void finish_transmission();
+
+  sim::Simulator& sim_;
+  std::string name_;
+  std::int64_t bits_per_second_;
+  sim::Time propagation_delay_;
+  DropTailQueue queue_;
+  Node* peer_ = nullptr;
+  bool transmitting_ = false;
+  std::vector<BusyInterval> busy_;  // merged, ordered; open last interval while transmitting
+};
+
+}  // namespace tcpdyn::net

@@ -1,0 +1,64 @@
+#include "net/queue.h"
+
+#include <algorithm>
+
+namespace tcpdyn::net {
+
+void DropTailQueue::count_drop(const Packet& pkt) {
+  ++counters_.drops;
+  if (is_data(pkt)) {
+    ++counters_.data_drops;
+  } else {
+    ++counters_.ack_drops;
+  }
+}
+
+bool DropTailQueue::push(Packet pkt) {
+  return offer(std::move(pkt)).accepted;
+}
+
+EnqueueResult DropTailQueue::offer(Packet pkt, bool protect_front) {
+  ++counters_.arrivals;
+  EnqueueResult result;
+  if (!limit_.is_infinite() && packets_.size() >= *limit_.packets) {
+    if (policy_ == DropPolicy::kDropTail) {
+      count_drop(pkt);
+      result.accepted = false;
+      result.dropped = std::move(pkt);
+      return result;
+    }
+    // Random-drop: pick a victim uniformly among the current occupants plus
+    // the arrival itself, optionally sparing the in-service head packet.
+    const std::size_t first = protect_front && !packets_.empty() ? 1 : 0;
+    const std::size_t candidates = packets_.size() - first + 1;  // + arrival
+    const std::size_t pick =
+        first + static_cast<std::size_t>(rng_.next_below(candidates));
+    if (pick >= packets_.size()) {
+      // The arrival itself is the victim.
+      count_drop(pkt);
+      result.accepted = false;
+      result.dropped = std::move(pkt);
+      return result;
+    }
+    Packet victim = std::move(packets_[pick]);
+    bytes_ -= victim.size_bytes;
+    packets_.erase(packets_.begin() + static_cast<std::ptrdiff_t>(pick));
+    count_drop(victim);
+    result.dropped = std::move(victim);
+    // Fall through: the arrival is admitted into the freed slot.
+  }
+  bytes_ += pkt.size_bytes;
+  packets_.push_back(std::move(pkt));
+  counters_.max_length = std::max(counters_.max_length, packets_.size());
+  return result;
+}
+
+std::optional<Packet> DropTailQueue::pop() {
+  if (packets_.empty()) return std::nullopt;
+  Packet pkt = std::move(packets_.front());
+  packets_.pop_front();
+  bytes_ -= pkt.size_bytes;
+  return pkt;
+}
+
+}  // namespace tcpdyn::net

@@ -1,0 +1,93 @@
+// FIFO packet queue with a pluggable discard discipline (paper §2.2): one
+// buffer per outgoing link, no sharing. The default is drop-tail (arriving
+// packet dropped when the buffer is full); random-drop — the gateway
+// discipline of the Random Drop studies the paper cites ([4, 5, 10, 18]) —
+// discards a uniformly chosen occupant instead, letting the arrival in.
+// The packet currently being transmitted still occupies a buffer slot,
+// matching the BSD switches the paper models; the queue-length traces in the
+// figures count it.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <optional>
+
+#include "net/packet.h"
+#include "util/rng.h"
+
+namespace tcpdyn::net {
+
+// What to discard when a packet arrives at a full buffer.
+enum class DropPolicy : std::uint8_t {
+  kDropTail,    // discard the arriving packet (paper default)
+  kRandomDrop,  // discard a uniformly random occupant; admit the arrival
+};
+
+// Buffer capacity in packets; nullopt means infinite (used for the
+// fixed-window experiments, Figs. 8-9).
+struct QueueLimit {
+  std::optional<std::size_t> packets;
+
+  static QueueLimit infinite() { return {}; }
+  static QueueLimit of(std::size_t n) { return {n}; }
+  bool is_infinite() const { return !packets.has_value(); }
+};
+
+// Counters maintained by the queue for the analysis layer.
+struct QueueCounters {
+  std::uint64_t arrivals = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t data_drops = 0;   // drops that were data packets
+  std::uint64_t ack_drops = 0;    // drops that were ACK packets
+  std::size_t max_length = 0;     // high-water mark, in packets
+};
+
+// Outcome of offering a packet to the queue: at most one packet is dropped —
+// either the arrival itself (drop-tail) or a previously queued victim
+// (random-drop).
+struct EnqueueResult {
+  bool accepted = true;            // the arriving packet was admitted
+  std::optional<Packet> dropped;   // whichever packet was discarded, if any
+};
+
+class DropTailQueue {
+ public:
+  explicit DropTailQueue(QueueLimit limit,
+                         DropPolicy policy = DropPolicy::kDropTail,
+                         std::uint64_t seed = 1)
+      : limit_(limit), policy_(policy), rng_(seed) {}
+
+  // Attempts to enqueue; returns false (and records the drop) when the
+  // arriving packet is discarded. Drop-tail shorthand for offer().
+  bool push(Packet pkt);
+
+  // Offers a packet under the configured policy. `protect_front` excludes
+  // the head packet from random-drop victim selection (it is in service on
+  // the wire and cannot be unsent).
+  EnqueueResult offer(Packet pkt, bool protect_front = false);
+
+  // Removes and returns the head packet; nullopt when empty.
+  std::optional<Packet> pop();
+
+  const Packet& front() const { return packets_.front(); }
+  bool empty() const { return packets_.empty(); }
+  std::size_t length() const { return packets_.size(); }
+  std::size_t length_bytes() const { return bytes_; }
+  const QueueCounters& counters() const { return counters_; }
+  QueueLimit limit() const { return limit_; }
+
+  DropPolicy policy() const { return policy_; }
+
+ private:
+  void count_drop(const Packet& pkt);
+
+  QueueLimit limit_;
+  DropPolicy policy_;
+  util::Rng rng_;
+  std::deque<Packet> packets_;
+  std::size_t bytes_ = 0;
+  QueueCounters counters_;
+};
+
+}  // namespace tcpdyn::net

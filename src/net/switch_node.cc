@@ -1,0 +1,29 @@
+#include "net/switch_node.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace tcpdyn::net {
+
+std::size_t Switch::add_port(std::unique_ptr<OutputPort> port) {
+  ports_.push_back(std::move(port));
+  return ports_.size() - 1;
+}
+
+void Switch::set_route(NodeId dst, std::size_t port_index) {
+  assert(port_index < ports_.size());
+  routes_[dst] = port_index;
+}
+
+void Switch::receive(Packet pkt) {
+  auto it = routes_.find(pkt.dst);
+  if (it == routes_.end()) {
+    throw std::logic_error(name() + ": no route to node " +
+                           std::to_string(pkt.dst));
+  }
+  ports_[it->second]->enqueue(std::move(pkt));
+}
+
+}  // namespace tcpdyn::net

@@ -1,0 +1,37 @@
+// Packet switch: per-outgoing-link FIFO drop-tail queues and a static
+// routing table (destination host -> output port). Switching latency is
+// zero; all delay comes from queueing, serialization, and propagation.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/node.h"
+#include "net/port.h"
+
+namespace tcpdyn::net {
+
+class Switch : public Node {
+ public:
+  Switch(NodeId id, std::string name) : Node(id, std::move(name)) {}
+
+  // Takes ownership of an output port; returns its index.
+  std::size_t add_port(std::unique_ptr<OutputPort> port);
+
+  OutputPort& port(std::size_t index) { return *ports_[index]; }
+  const OutputPort& port(std::size_t index) const { return *ports_[index]; }
+  std::size_t port_count() const { return ports_.size(); }
+
+  // Routes packets destined to host `dst` out of port `port_index`.
+  void set_route(NodeId dst, std::size_t port_index);
+  bool has_route(NodeId dst) const { return routes_.contains(dst); }
+
+  void receive(Packet pkt) override;
+
+ private:
+  std::vector<std::unique_ptr<OutputPort>> ports_;
+  std::unordered_map<NodeId, std::size_t> routes_;
+};
+
+}  // namespace tcpdyn::net

@@ -1,0 +1,57 @@
+#include "sim/scheduler.h"
+
+#include <cassert>
+#include <utility>
+
+namespace tcpdyn::sim {
+
+void EventHandle::cancel() {
+  if (cancelled_) *cancelled_ = true;
+}
+
+bool EventHandle::pending() const { return cancelled_ && !*cancelled_; }
+
+EventHandle Scheduler::schedule_at(Time at, Action action) {
+  auto cancelled = std::make_shared<bool>(false);
+  heap_.push(Entry{at, next_seq_++, std::move(action), cancelled});
+  ++live_events_;
+  return EventHandle(std::move(cancelled));
+}
+
+void Scheduler::drop_cancelled_front() {
+  while (!heap_.empty() && *heap_.top().cancelled) {
+    heap_.pop();
+    --live_events_;
+  }
+}
+
+bool Scheduler::empty() const {
+  // live_events_ counts non-popped entries including cancelled ones; we must
+  // look through the heap for a live entry. Cheap amortized: cancelled
+  // entries are dropped as they reach the front.
+  auto* self = const_cast<Scheduler*>(this);
+  self->drop_cancelled_front();
+  return heap_.empty();
+}
+
+Time Scheduler::next_time() {
+  drop_cancelled_front();
+  return heap_.empty() ? Time::max() : heap_.top().at;
+}
+
+Time Scheduler::run_next() {
+  drop_cancelled_front();
+  assert(!heap_.empty());
+  // Move the action out before popping: the action may schedule new events.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  --live_events_;
+  // Mark the event as no longer pending before running it, so that handles
+  // report pending() == false from inside (and after) the action — a fired
+  // one-shot timer must be re-armable.
+  *entry.cancelled = true;
+  entry.action();
+  return entry.at;
+}
+
+}  // namespace tcpdyn::sim

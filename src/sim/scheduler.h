@@ -1,0 +1,75 @@
+// Event scheduler: a binary min-heap of (time, insertion-sequence, action).
+// The sequence number makes simultaneous events fire in insertion order,
+// which keeps runs deterministic and matches the FIFO intuition of the
+// network model (e.g. a dequeue scheduled before an enqueue at the same
+// instant executes first).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace tcpdyn::sim {
+
+// Handle to a scheduled event; allows cancellation. Default-constructed
+// handles are inert. Handles are cheap to copy (shared flag).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // Cancels the event if it has not fired yet. Safe to call repeatedly or on
+  // an inert handle.
+  void cancel();
+
+  // True if the event is still queued (not fired, not cancelled).
+  bool pending() const;
+
+ private:
+  friend class Scheduler;
+  explicit EventHandle(std::shared_ptr<bool> cancelled)
+      : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;  // null => inert or already fired
+};
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  // Enqueues `action` to run at absolute time `at`. `at` must be >= the time
+  // of the last event popped.
+  EventHandle schedule_at(Time at, Action action);
+
+  bool empty() const;
+  std::size_t size() const { return live_events_; }
+
+  // Time of the earliest pending (non-cancelled) event; Time::max() if none.
+  Time next_time();
+
+  // Pops and runs the earliest pending event, returning its time.
+  // Precondition: !empty().
+  Time run_next();
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    Action action;
+    std::shared_ptr<bool> cancelled;
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  void drop_cancelled_front();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_events_ = 0;
+};
+
+}  // namespace tcpdyn::sim

@@ -1,0 +1,38 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace tcpdyn::sim {
+
+EventHandle Simulator::schedule(Time delay, Scheduler::Action action) {
+  if (delay < Time::zero()) delay = Time::zero();
+  return scheduler_.schedule_at(now_ + delay, std::move(action));
+}
+
+EventHandle Simulator::schedule_at(Time at, Scheduler::Action action) {
+  assert(at >= now_);
+  return scheduler_.schedule_at(at, std::move(action));
+}
+
+void Simulator::run_until(Time until) {
+  stopped_ = false;
+  while (!stopped_ && !scheduler_.empty() && scheduler_.next_time() <= until) {
+    // Advance the clock before dispatching: the action must observe now()
+    // equal to its own firing time (it schedules follow-up events off it).
+    now_ = scheduler_.next_time();
+    scheduler_.run_next();
+    ++events_executed_;
+  }
+  if (!stopped_ && now_ < until) now_ = until;
+}
+
+void Simulator::run_all() {
+  stopped_ = false;
+  while (!stopped_ && !scheduler_.empty()) {
+    now_ = scheduler_.next_time();
+    scheduler_.run_next();
+    ++events_executed_;
+  }
+}
+
+}  // namespace tcpdyn::sim

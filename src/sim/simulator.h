@@ -1,0 +1,49 @@
+// Simulator: the simulation clock plus the scheduler façade every model
+// component uses. Single-threaded; all model state is driven from run().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/scheduler.h"
+#include "sim/time.h"
+
+namespace tcpdyn::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules `action` to run `delay` after now. Negative delays are clamped
+  // to zero (runs "immediately", after currently queued same-time events).
+  EventHandle schedule(Time delay, Scheduler::Action action);
+
+  // Schedules at an absolute time (must be >= now()).
+  EventHandle schedule_at(Time at, Scheduler::Action action);
+
+  // Runs events until the queue drains or the clock would pass `until`.
+  // The clock is left at min(until, time of last event). Events exactly at
+  // `until` are executed.
+  void run_until(Time until);
+
+  // Runs until the event queue is empty (use with care: greedy TCP sources
+  // never drain the queue).
+  void run_all();
+
+  // Makes run_until/run_all return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  Scheduler scheduler_;
+  Time now_ = Time::zero();
+  bool stopped_ = false;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace tcpdyn::sim

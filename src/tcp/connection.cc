@@ -1,0 +1,64 @@
+#include "tcp/connection.h"
+
+namespace tcpdyn::tcp {
+
+Connection::Connection(net::Network& network, ConnectionConfig config)
+    : config_(config) {
+  SenderParams sp;
+  sp.conn = config.id;
+  sp.self = config.src_host;
+  sp.peer = config.dst_host;
+  sp.data_bytes = config.data_bytes;
+  sp.maxwnd = config.maxwnd;
+  sp.dupack_threshold = config.dupack_threshold;
+  sp.pacing_interval = config.pacing_interval;
+  sp.rtt = config.rtt;
+
+  auto& src = network.host(config.src_host);
+  auto& dst = network.host(config.dst_host);
+
+  switch (config.kind) {
+    case SenderKind::kTahoe:
+      sender_ = std::make_unique<TahoeSender>(network.sim(), src, sp,
+                                              config.tahoe);
+      break;
+    case SenderKind::kReno:
+      sender_ =
+          std::make_unique<RenoSender>(network.sim(), src, sp, config.reno);
+      break;
+    case SenderKind::kFixedWindow:
+      sender_ = std::make_unique<FixedWindowSender>(network.sim(), src, sp,
+                                                    config.fixed_window);
+      break;
+  }
+
+  ReceiverParams rp;
+  rp.conn = config.id;
+  rp.self = config.dst_host;
+  rp.peer = config.src_host;
+  rp.ack_bytes = config.ack_bytes;
+  rp.delayed_ack = config.delayed_ack;
+  receiver_ = std::make_unique<Receiver>(network.sim(), dst, rp);
+
+  sender_->start(config.start_time);
+}
+
+TahoeSender* Connection::tahoe() {
+  return config_.kind == SenderKind::kTahoe
+             ? static_cast<TahoeSender*>(sender_.get())
+             : nullptr;
+}
+
+RenoSender* Connection::reno() {
+  return config_.kind == SenderKind::kReno
+             ? static_cast<RenoSender*>(sender_.get())
+             : nullptr;
+}
+
+FixedWindowSender* Connection::fixed() {
+  return config_.kind == SenderKind::kFixedWindow
+             ? static_cast<FixedWindowSender*>(sender_.get())
+             : nullptr;
+}
+
+}  // namespace tcpdyn::tcp

@@ -1,0 +1,60 @@
+// Connection: wires a sender endpoint on one host to a receiver endpoint on
+// another, per the paper's model of pre-established TCP connections with an
+// infinite amount of data to send (no SYN/FIN exchange is simulated).
+#pragma once
+
+#include <memory>
+
+#include "net/network.h"
+#include "tcp/fixed_window.h"
+#include "tcp/receiver.h"
+#include "tcp/reno.h"
+#include "tcp/tahoe.h"
+
+namespace tcpdyn::tcp {
+
+enum class SenderKind : std::uint8_t { kTahoe, kReno, kFixedWindow };
+
+struct ConnectionConfig {
+  net::ConnId id = 0;
+  net::NodeId src_host = net::kInvalidNode;  // data source
+  net::NodeId dst_host = net::kInvalidNode;  // data sink / ACK source
+  SenderKind kind = SenderKind::kTahoe;
+  std::uint32_t fixed_window = 10;           // only for kFixedWindow
+  std::uint32_t data_bytes = 500;            // paper: 500-byte data packets
+  std::uint32_t ack_bytes = 50;              // paper: 50-byte ACKs
+  std::uint32_t maxwnd = 1000;               // paper: never binding
+  std::uint32_t dupack_threshold = 3;
+  bool delayed_ack = false;
+  sim::Time pacing_interval = sim::Time::zero();
+  sim::Time start_time = sim::Time::zero();
+  TahoeParams tahoe;
+  RenoParams reno;
+  RttParams rtt;
+};
+
+class Connection {
+ public:
+  // Creates both endpoints and schedules the sender's start. The network's
+  // routes must already be computed.
+  Connection(net::Network& network, ConnectionConfig config);
+
+  const ConnectionConfig& config() const { return config_; }
+  WindowSender& sender() { return *sender_; }
+  const WindowSender& sender() const { return *sender_; }
+  Receiver& receiver() { return *receiver_; }
+
+  // Null unless the connection uses the Tahoe sender.
+  TahoeSender* tahoe();
+  // Null unless the connection uses the Reno sender.
+  RenoSender* reno();
+  // Null unless the connection uses the fixed-window sender.
+  FixedWindowSender* fixed();
+
+ private:
+  ConnectionConfig config_;
+  std::unique_ptr<WindowSender> sender_;
+  std::unique_ptr<Receiver> receiver_;
+};
+
+}  // namespace tcpdyn::tcp

@@ -1,0 +1,12 @@
+#include "tcp/fixed_window.h"
+
+namespace tcpdyn::tcp {
+
+void FixedWindowSender::set_window(std::uint32_t w) {
+  const bool grew = w > window_;
+  window_ = w;
+  // A larger window may allow immediate transmission.
+  if (grew) send_available();
+}
+
+}  // namespace tcpdyn::tcp

@@ -1,0 +1,32 @@
+// Fixed-window sender: transmits with a constant window and no congestion
+// reaction. Used for the paper's disentangling experiments (Figs. 8-9: fixed
+// windows of 30 and 25 with infinite buffers) and the §4.3.3 zero-length-ACK
+// conjecture sweeps. Loss recovery (go-back-N on dup ACKs / timeout) still
+// works, but the window never changes.
+#pragma once
+
+#include "tcp/sender.h"
+
+namespace tcpdyn::tcp {
+
+class FixedWindowSender : public WindowSender {
+ public:
+  FixedWindowSender(sim::Simulator& sim, net::Host& host, SenderParams params,
+                    std::uint32_t fixed_window)
+      : WindowSender(sim, host, params), window_(fixed_window) {}
+
+  std::uint32_t window() const override { return window_; }
+
+  // Allows mid-run window changes (used by the §4.3.3 "suddenly increase
+  // both windows by one" thought experiment made executable).
+  void set_window(std::uint32_t w);
+
+ protected:
+  void handle_new_ack(std::uint32_t /*newly_acked*/) override {}
+  void handle_loss(LossSignal /*signal*/) override {}
+
+ private:
+  std::uint32_t window_;
+};
+
+}  // namespace tcpdyn::tcp

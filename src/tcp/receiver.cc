@@ -1,0 +1,66 @@
+#include "tcp/receiver.h"
+
+namespace tcpdyn::tcp {
+
+Receiver::Receiver(sim::Simulator& sim, net::Host& host, ReceiverParams params)
+    : sim_(sim), host_(host), params_(params) {
+  host_.register_endpoint(params_.conn, net::PacketKind::kData, this);
+}
+
+void Receiver::deliver(const net::Packet& pkt) {
+  ++data_received_;
+  if (pkt.seq == next_expected_) {
+    ++next_expected_;
+    // Absorb any contiguous buffered packets.
+    while (!out_of_order_.empty() &&
+           *out_of_order_.begin() == next_expected_) {
+      out_of_order_.erase(out_of_order_.begin());
+      ++next_expected_;
+    }
+  } else if (pkt.seq > next_expected_) {
+    out_of_order_.insert(pkt.seq);
+  } else {
+    ++duplicates_;  // already delivered; ACK again (sender needs the dup-ACK)
+  }
+
+  if (!params_.delayed_ack) {
+    send_ack();
+    return;
+  }
+  // Delayed-ACK option: ACK every second packet, or on timer expiry. A
+  // packet that fills a gap (out-of-order conditions) is ACKed immediately
+  // so the sender learns about recovery promptly, as BSD does.
+  ++unacked_arrivals_;
+  if (unacked_arrivals_ >= 2 || pkt.seq != next_expected_ - 1) {
+    send_ack();
+  } else {
+    arm_delayed_ack_timer();
+  }
+}
+
+void Receiver::send_ack() {
+  delayed_timer_.cancel();
+  unacked_arrivals_ = 0;
+  net::Packet ack;
+  ack.uid = (static_cast<std::uint64_t>(params_.conn) << 40) | 0x8000000000ULL |
+            next_uid_++;
+  ack.conn = params_.conn;
+  ack.kind = net::PacketKind::kAck;
+  ack.ack = next_expected_;
+  ack.size_bytes = params_.ack_bytes;
+  ack.src = params_.self;
+  ack.dst = params_.peer;
+  ack.created = sim_.now();
+  ++acks_sent_;
+  if (on_ack_sent) on_ack_sent(sim_.now(), ack);
+  host_.send(std::move(ack));
+}
+
+void Receiver::arm_delayed_ack_timer() {
+  if (delayed_timer_.pending()) return;
+  delayed_timer_ = sim_.schedule(params_.delayed_ack_timeout, [this] {
+    if (unacked_arrivals_ > 0) send_ack();
+  });
+}
+
+}  // namespace tcpdyn::tcp

@@ -1,0 +1,60 @@
+// TCP receiver endpoint: cumulative acknowledgments with an out-of-order
+// reassembly buffer, and the BSD 4.3-Tahoe delayed-ACK option (paper §2.1,
+// §5): with the option on, the first unacknowledged data packet is held
+// until a second data packet arrives (one ACK covers both) or a
+// conservative timer expires.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+
+#include "net/host.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace tcpdyn::tcp {
+
+struct ReceiverParams {
+  net::ConnId conn = 0;
+  net::NodeId self = net::kInvalidNode;   // host where the receiver lives
+  net::NodeId peer = net::kInvalidNode;   // host where the sender lives
+  std::uint32_t ack_bytes = 50;
+  bool delayed_ack = false;
+  sim::Time delayed_ack_timeout = sim::Time::milliseconds(200);
+};
+
+class Receiver : public net::PacketSink {
+ public:
+  Receiver(sim::Simulator& sim, net::Host& host, ReceiverParams params);
+
+  // net::PacketSink: handles an arriving data packet.
+  void deliver(const net::Packet& pkt) override;
+
+  std::uint32_t next_expected() const { return next_expected_; }
+  std::uint64_t data_received() const { return data_received_; }
+  std::uint64_t duplicates_received() const { return duplicates_; }
+  std::uint64_t acks_sent() const { return acks_sent_; }
+
+  // Fired just before an ACK is handed to the host for transmission.
+  std::function<void(sim::Time, const net::Packet&)> on_ack_sent;
+
+ private:
+  void send_ack();
+  void arm_delayed_ack_timer();
+
+  sim::Simulator& sim_;
+  net::Host& host_;
+  ReceiverParams params_;
+  std::uint32_t next_expected_ = 0;     // lowest seq not yet received
+  std::set<std::uint32_t> out_of_order_;
+  std::uint64_t data_received_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t acks_sent_ = 0;
+  std::uint64_t next_uid_ = 0;
+  // Delayed-ACK state: number of data packets received since the last ACK.
+  std::uint32_t unacked_arrivals_ = 0;
+  sim::EventHandle delayed_timer_;
+};
+
+}  // namespace tcpdyn::tcp

@@ -1,0 +1,63 @@
+#include "tcp/reno.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tcpdyn::tcp {
+
+RenoSender::RenoSender(sim::Simulator& sim, net::Host& host,
+                       SenderParams params, RenoParams reno)
+    : WindowSender(sim, host, params),
+      reno_(reno),
+      cwnd_(reno.initial_cwnd),
+      ssthresh_(reno.initial_ssthresh) {}
+
+std::uint32_t RenoSender::window() const {
+  const double w = std::min(cwnd_, static_cast<double>(params().maxwnd));
+  return std::max(1u, static_cast<std::uint32_t>(std::floor(w)));
+}
+
+void RenoSender::handle_new_ack(std::uint32_t /*newly_acked*/) {
+  if (in_fast_recovery_) {
+    // Deflate: the retransmission was acknowledged; resume congestion
+    // avoidance from the halved window.
+    in_fast_recovery_ = false;
+    cwnd_ = static_cast<double>(ssthresh_);
+    notify();
+    return;
+  }
+  if (cwnd_ < static_cast<double>(ssthresh_)) {
+    cwnd_ += 1.0;
+  } else if (reno_.modified_ca_increment) {
+    cwnd_ += 1.0 / std::floor(cwnd_);
+  } else {
+    cwnd_ += 1.0 / cwnd_;
+  }
+  notify();
+}
+
+void RenoSender::handle_dup_ack() {
+  if (!in_fast_recovery_) return;
+  // Each additional duplicate ACK signals a packet has left the network;
+  // inflate so new data can be clocked out during recovery.
+  cwnd_ += 1.0;
+  notify();
+}
+
+void RenoSender::handle_loss(LossSignal signal) {
+  const double half = cwnd_ / 2.0;
+  const double capped = std::min(half, static_cast<double>(params().maxwnd));
+  ssthresh_ = std::max(2u, static_cast<std::uint32_t>(capped));
+  if (signal == LossSignal::kDupAcks) {
+    // Fast recovery: halve plus the three duplicates already seen.
+    in_fast_recovery_ = true;
+    cwnd_ = static_cast<double>(ssthresh_) + 3.0;
+  } else {
+    // Timeout: slow-start from scratch, as in Tahoe.
+    in_fast_recovery_ = false;
+    cwnd_ = 1.0;
+  }
+  notify();
+}
+
+}  // namespace tcpdyn::tcp

@@ -1,0 +1,57 @@
+// BSD 4.3-Reno congestion control: Tahoe plus fast recovery (Jacobson's
+// Tahoe -> Reno evolution, reference [7] of the paper). On the third
+// duplicate ACK the sender retransmits, halves the window to
+// ssthresh = max(min(cwnd/2, maxwnd), 2), and instead of collapsing to
+// cwnd = 1 it inflates: cwnd = ssthresh + 3, +1 per further duplicate ACK
+// (each duplicate signals a departure from the network), deflating back to
+// ssthresh when new data is acknowledged. Timeouts still slow-start from 1.
+//
+// The paper conjectures that ACK-compression and the synchronization modes
+// afflict ANY nonpaced window-based algorithm; RenoSender exists to test
+// that conjecture (bench_reno_twoway) — Reno changes the loss response, not
+// the ACK-triggered transmission pattern, so the phenomena should persist.
+#pragma once
+
+#include <functional>
+
+#include "tcp/sender.h"
+
+namespace tcpdyn::tcp {
+
+struct RenoParams {
+  double initial_cwnd = 1.0;
+  std::uint32_t initial_ssthresh = UINT32_MAX;
+  // The paper's modified congestion-avoidance increment (see TahoeParams).
+  bool modified_ca_increment = true;
+};
+
+class RenoSender : public WindowSender {
+ public:
+  RenoSender(sim::Simulator& sim, net::Host& host, SenderParams params,
+             RenoParams reno = {});
+
+  std::uint32_t window() const override;
+
+  double cwnd() const { return cwnd_; }
+  std::uint32_t ssthresh() const { return ssthresh_; }
+  bool in_fast_recovery() const { return in_fast_recovery_; }
+
+  std::function<void(sim::Time, double)> on_cwnd_change;
+
+ protected:
+  void handle_new_ack(std::uint32_t newly_acked) override;
+  void handle_dup_ack() override;
+  void handle_loss(LossSignal signal) override;
+
+ private:
+  void notify() {
+    if (on_cwnd_change) on_cwnd_change(sim_.now(), cwnd_);
+  }
+
+  RenoParams reno_;
+  double cwnd_;
+  std::uint32_t ssthresh_;
+  bool in_fast_recovery_ = false;
+};
+
+}  // namespace tcpdyn::tcp

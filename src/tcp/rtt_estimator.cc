@@ -1,0 +1,50 @@
+#include "tcp/rtt_estimator.h"
+
+#include <algorithm>
+
+namespace tcpdyn::tcp {
+
+namespace {
+sim::Time abs_diff(sim::Time a, sim::Time b) { return a > b ? a - b : b - a; }
+
+sim::Time round_up(sim::Time t, sim::Time granularity) {
+  if (granularity <= sim::Time::zero()) return t;
+  const std::int64_t g = granularity.ns();
+  const std::int64_t n = (t.ns() + g - 1) / g;
+  return sim::Time::nanoseconds(n * g);
+}
+}  // namespace
+
+void RttEstimator::sample(sim::Time rtt) {
+  if (!has_sample_) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    has_sample_ = true;
+  } else {
+    const sim::Time err = abs_diff(rtt, srtt_);
+    // srtt += (rtt - srtt) / 8, in signed arithmetic.
+    srtt_ = sim::Time::nanoseconds(srtt_.ns() + (rtt.ns() - srtt_.ns()) / 8);
+    // rttvar += (|err| - rttvar) / 4
+    rttvar_ =
+        sim::Time::nanoseconds(rttvar_.ns() + (err.ns() - rttvar_.ns()) / 4);
+  }
+  backoff_ = 0;
+}
+
+sim::Time RttEstimator::rto() const {
+  sim::Time base = has_sample_ ? srtt_ + rttvar_ * 4 : params_.initial_rto;
+  base = round_up(base, params_.granularity);
+  base = std::max(base, params_.min_rto);
+  // Apply exponential backoff, saturating at max_rto.
+  for (int i = 0; i < backoff_; ++i) {
+    base = base * 2;
+    if (base >= params_.max_rto) break;
+  }
+  return std::min(base, params_.max_rto);
+}
+
+void RttEstimator::backoff() {
+  if (backoff_ < 12) ++backoff_;  // 2^12 >> max_rto/min_rto; avoid overflow
+}
+
+}  // namespace tcpdyn::tcp

@@ -1,0 +1,47 @@
+// Round-trip-time estimation and retransmission timeout computation in the
+// style of BSD 4.3-Tahoe: Jacobson/Karels smoothed mean + mean deviation
+// (srtt gain 1/8, rttvar gain 1/4, RTO = srtt + 4*rttvar), coarse timer
+// granularity, exponential backoff on timeout, and Karn's rule applied by
+// the caller (retransmitted packets are never sampled).
+#pragma once
+
+#include "sim/time.h"
+
+namespace tcpdyn::tcp {
+
+struct RttParams {
+  sim::Time initial_rto = sim::Time::seconds(3.0);
+  sim::Time min_rto = sim::Time::seconds(1.0);   // BSD: 2 ticks of 500 ms
+  sim::Time max_rto = sim::Time::seconds(64.0);
+  sim::Time granularity = sim::Time::milliseconds(500);  // BSD slow timer
+};
+
+class RttEstimator {
+ public:
+  explicit RttEstimator(RttParams params = {}) : params_(params) {}
+
+  // Feeds one RTT sample (ack of a never-retransmitted, timed packet) and
+  // resets any timeout backoff.
+  void sample(sim::Time rtt);
+
+  // Current retransmission timeout, including backoff, rounded up to the
+  // timer granularity and clamped to [min_rto, max_rto].
+  sim::Time rto() const;
+
+  // Doubles the timeout (exponential backoff); called on each expiry.
+  void backoff();
+
+  bool has_sample() const { return has_sample_; }
+  sim::Time srtt() const { return srtt_; }
+  sim::Time rttvar() const { return rttvar_; }
+  int backoff_exponent() const { return backoff_; }
+
+ private:
+  RttParams params_;
+  bool has_sample_ = false;
+  sim::Time srtt_ = sim::Time::zero();
+  sim::Time rttvar_ = sim::Time::zero();
+  int backoff_ = 0;
+};
+
+}  // namespace tcpdyn::tcp

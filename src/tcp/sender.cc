@@ -1,0 +1,143 @@
+#include "tcp/sender.h"
+
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace tcpdyn::tcp {
+
+WindowSender::WindowSender(sim::Simulator& sim, net::Host& host,
+                           SenderParams params)
+    : sim_(sim), host_(host), params_(params), rtt_(params.rtt) {
+  host_.register_endpoint(params_.conn, net::PacketKind::kAck, this);
+}
+
+void WindowSender::start(sim::Time at) {
+  assert(at >= sim_.now());
+  sim_.schedule(at - sim_.now(), [this] {
+    started_ = true;
+    next_pacing_slot_ = sim_.now();
+    send_available();
+  });
+}
+
+void WindowSender::deliver(const net::Packet& ack) {
+  assert(net::is_ack(ack));
+  ++counters_.acks_received;
+  if (ack.ack > snd_una_) {
+    const std::uint32_t newly = ack.ack - snd_una_;
+    snd_una_ = ack.ack;
+    dupacks_ = 0;
+    // RTT sample: the timed packet is covered and was never retransmitted
+    // (timing_ is cleared on any loss, implementing Karn's rule).
+    if (timing_ && ack.ack > timed_seq_) {
+      const sim::Time rtt = sim_.now() - timed_at_;
+      rtt_.sample(rtt);
+      timing_ = false;
+      if (on_rtt_sample) on_rtt_sample(sim_.now(), rtt);
+    }
+    if (snd_nxt_ < snd_una_) snd_nxt_ = snd_una_;
+    // Restart the retransmission timer for the remaining outstanding data.
+    rto_timer_.cancel();
+    if (outstanding() > 0) arm_rto();
+    handle_new_ack(newly);
+    send_available();
+  } else if (ack.ack == snd_una_ && outstanding() > 0) {
+    // Duplicate ACK while data is outstanding.
+    if (++dupacks_ == params_.dupack_threshold) {
+      loss_detected(LossSignal::kDupAcks);
+    } else {
+      handle_dup_ack();
+      send_available();  // Reno-style inflation may open the window
+    }
+  }
+  // else: stale ACK below snd_una_, ignore.
+}
+
+void WindowSender::send_available() {
+  if (!started_) return;
+  const std::uint32_t wnd = window();
+  while (snd_nxt_ < snd_una_ + wnd) {
+    if (params_.pacing_interval > sim::Time::zero() &&
+        sim_.now() < next_pacing_slot_) {
+      schedule_paced_send();
+      return;
+    }
+    send_packet(snd_nxt_);
+    ++snd_nxt_;
+    if (params_.pacing_interval > sim::Time::zero()) {
+      next_pacing_slot_ = sim_.now() + params_.pacing_interval;
+    }
+  }
+}
+
+void WindowSender::schedule_paced_send() {
+  if (pacing_timer_.pending()) return;
+  pacing_timer_ = sim_.schedule_at(next_pacing_slot_, [this] {
+    send_available();
+  });
+}
+
+void WindowSender::send_packet(std::uint32_t seq) {
+  net::Packet pkt;
+  pkt.uid = (static_cast<std::uint64_t>(params_.conn) << 40) | next_uid_++;
+  pkt.conn = params_.conn;
+  pkt.kind = net::PacketKind::kData;
+  pkt.seq = seq;
+  pkt.size_bytes = params_.data_bytes;
+  pkt.src = params_.self;
+  pkt.dst = params_.peer;
+  pkt.created = sim_.now();
+  pkt.retransmit = seq < high_water_;
+
+  ++counters_.data_sent;
+  if (pkt.retransmit) ++counters_.retransmits;
+  high_water_ = std::max(high_water_, seq + 1);
+
+  // BSD times one packet at a time; never a retransmission (Karn).
+  if (!timing_ && !pkt.retransmit) {
+    timing_ = true;
+    timed_seq_ = seq;
+    timed_at_ = sim_.now();
+  }
+  if (!rto_timer_.pending()) arm_rto();
+  if (on_send) on_send(sim_.now(), pkt);
+  host_.send(std::move(pkt));
+}
+
+void WindowSender::loss_detected(LossSignal signal) {
+  if (signal == LossSignal::kDupAcks) {
+    ++counters_.dup_ack_losses;
+  } else {
+    ++counters_.timeout_losses;
+    dupacks_ = 0;
+    rtt_.backoff();
+  }
+  timing_ = false;  // Karn: abandon the in-progress RTT measurement
+  if (on_loss_detected) on_loss_detected(sim_.now(), signal);
+  handle_loss(signal);
+  rto_timer_.cancel();
+  if (signal == LossSignal::kTimeout) {
+    // Timeout: go-back-N from the first unacknowledged packet.
+    snd_nxt_ = snd_una_;
+    send_available();
+  } else {
+    // Dup-ACK (fast) retransmit: resend exactly the first unacknowledged
+    // segment and leave snd_nxt where it is, as BSD 4.3-Tahoe does
+    // (tcp_input.c restores snd_nxt after the forced retransmission).
+    // Re-sending the whole window here would make the receiver emit a
+    // duplicate ACK per already-buffered packet, triggering spurious fast
+    // retransmits in a feedback loop.
+    send_packet(snd_una_);
+    send_available();
+  }
+}
+
+void WindowSender::arm_rto() {
+  rto_timer_.cancel();
+  rto_timer_ = sim_.schedule(rtt_.rto(), [this] {
+    if (outstanding() > 0) loss_detected(LossSignal::kTimeout);
+  });
+}
+
+}  // namespace tcpdyn::tcp

@@ -1,0 +1,122 @@
+// WindowSender: the transport machinery shared by every sender variant in
+// the study — sliding-window transmission of an infinite data stream
+// (paper §2.2: sources always have data to send), loss detection by
+// duplicate ACKs and by a coarse retransmission timer, go-back-N
+// retransmission from the last acknowledged packet, Karn-rule RTT sampling,
+// and optional pacing.
+//
+// Subclasses supply the window policy:
+//   * TahoeSender       — BSD 4.3-Tahoe congestion control (paper §2.1)
+//   * FixedWindowSender — constant window (paper Figs. 8-9, §4.3.3)
+//
+// "Nonpaced" operation (the paper's default) means deliver() transmits new
+// data synchronously upon processing an ACK. Setting pacing_interval > 0
+// spreads transmissions out instead, which is the pacing ablation (E12).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/host.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "tcp/rtt_estimator.h"
+
+namespace tcpdyn::tcp {
+
+enum class LossSignal : std::uint8_t { kDupAcks, kTimeout };
+
+struct SenderParams {
+  net::ConnId conn = 0;
+  net::NodeId self = net::kInvalidNode;  // host where the sender lives
+  net::NodeId peer = net::kInvalidNode;  // host where the receiver lives
+  std::uint32_t data_bytes = 500;
+  std::uint32_t maxwnd = 1000;           // receiver-advertised window
+  std::uint32_t dupack_threshold = 3;
+  sim::Time pacing_interval = sim::Time::zero();  // 0 => nonpaced
+  RttParams rtt;
+};
+
+struct SenderCounters {
+  std::uint64_t data_sent = 0;          // all data transmissions
+  std::uint64_t retransmits = 0;        // data_sent that were resends
+  std::uint64_t acks_received = 0;
+  std::uint64_t dup_ack_losses = 0;     // losses detected via dup ACKs
+  std::uint64_t timeout_losses = 0;     // losses detected via timer expiry
+};
+
+class WindowSender : public net::PacketSink {
+ public:
+  WindowSender(sim::Simulator& sim, net::Host& host, SenderParams params);
+
+  // Begins transmitting at absolute time `at` (>= now).
+  void start(sim::Time at);
+
+  // net::PacketSink: handles an arriving ACK.
+  void deliver(const net::Packet& ack) override;
+
+  // Usable send window in packets: wnd = floor(min(cwnd, maxwnd)) for Tahoe,
+  // the constant window for FixedWindowSender. Always >= 1 once started.
+  virtual std::uint32_t window() const = 0;
+
+  std::uint32_t snd_una() const { return snd_una_; }
+  std::uint32_t snd_nxt() const { return snd_nxt_; }
+  std::uint32_t outstanding() const { return snd_nxt_ - snd_una_; }
+  const SenderCounters& counters() const { return counters_; }
+  const RttEstimator& rtt() const { return rtt_; }
+  const SenderParams& params() const { return params_; }
+
+  // Hooks for tracing.
+  std::function<void(sim::Time, const net::Packet&)> on_send;
+  std::function<void(sim::Time, LossSignal)> on_loss_detected;
+  // Fired for every accepted RTT measurement (time, rtt). The paper's
+  // "effective pipe" — throughput x RTT — is computed from these.
+  std::function<void(sim::Time, sim::Time)> on_rtt_sample;
+
+ protected:
+  // Called once per ACK that acknowledges new data (window opening policy).
+  virtual void handle_new_ack(std::uint32_t newly_acked) = 0;
+  // Called when a loss is detected, before retransmission (window closing
+  // policy).
+  virtual void handle_loss(LossSignal signal) = 0;
+  // Called for every duplicate ACK that does not itself trigger the loss
+  // (i.e. below or beyond the threshold). Reno inflates its window here
+  // during fast recovery; Tahoe ignores it.
+  virtual void handle_dup_ack() {}
+
+  // Transmits as much as the window allows (subject to pacing).
+  void send_available();
+
+  sim::Simulator& sim_;
+
+ private:
+  void send_packet(std::uint32_t seq);
+  void loss_detected(LossSignal signal);
+  void arm_rto();
+  void schedule_paced_send();
+
+  net::Host& host_;
+  SenderParams params_;
+  RttEstimator rtt_;
+  SenderCounters counters_;
+  bool started_ = false;
+
+  std::uint32_t snd_una_ = 0;   // lowest unacknowledged sequence
+  std::uint32_t snd_nxt_ = 0;   // next sequence to transmit
+  std::uint32_t high_water_ = 0;  // highest seq ever sent + 1
+  std::uint32_t dupacks_ = 0;
+  std::uint64_t next_uid_ = 0;
+
+  // RTT timing (one packet at a time, as BSD does; Karn's rule: timing is
+  // abandoned whenever a loss forces retransmission).
+  bool timing_ = false;
+  std::uint32_t timed_seq_ = 0;
+  sim::Time timed_at_;
+
+  sim::EventHandle rto_timer_;
+  // Pacing state: earliest time the next data packet may leave.
+  sim::Time next_pacing_slot_;
+  sim::EventHandle pacing_timer_;
+};
+
+}  // namespace tcpdyn::tcp

@@ -1,0 +1,42 @@
+#include "tcp/tahoe.h"
+
+#include <algorithm>
+
+namespace tcpdyn::tcp {
+
+TahoeSender::TahoeSender(sim::Simulator& sim, net::Host& host,
+                         SenderParams params, TahoeParams tahoe)
+    : WindowSender(sim, host, params),
+      tahoe_(tahoe),
+      cwnd_(tahoe.initial_cwnd),
+      ssthresh_(tahoe.initial_ssthresh) {}
+
+std::uint32_t TahoeSender::window() const {
+  const double w = std::min(cwnd_, static_cast<double>(params().maxwnd));
+  return std::max(1u, static_cast<std::uint32_t>(std::floor(w)));
+}
+
+void TahoeSender::handle_new_ack(std::uint32_t /*newly_acked*/) {
+  // One window increase per ACK of new data, exactly as the BSD code does
+  // (with delayed ACKs the receiver sends fewer ACKs, so the window opens
+  // more slowly — the paper notes this pacing side effect in §5).
+  if (cwnd_ < static_cast<double>(ssthresh_)) {
+    cwnd_ += 1.0;  // slow start / congestion recovery
+  } else if (tahoe_.modified_ca_increment) {
+    cwnd_ += 1.0 / std::floor(cwnd_);  // paper's anomaly-free increment
+  } else {
+    cwnd_ += 1.0 / cwnd_;  // original BSD 4.3-Tahoe increment
+  }
+  notify();
+}
+
+void TahoeSender::handle_loss(LossSignal /*signal*/) {
+  // ssthresh = max(min(cwnd/2, maxwnd), 2); cwnd = 1 (paper §2.1).
+  const double half = cwnd_ / 2.0;
+  const double capped = std::min(half, static_cast<double>(params().maxwnd));
+  ssthresh_ = std::max(2u, static_cast<std::uint32_t>(capped));
+  cwnd_ = 1.0;
+  notify();
+}
+
+}  // namespace tcpdyn::tcp

@@ -1,0 +1,62 @@
+// BSD 4.3-Tahoe congestion control (paper §2.1).
+//
+// State: congestion window `cwnd` (a real number, in packets) and threshold
+// `ssthresh`. On each ACK of new data:
+//     if (cwnd < ssthresh)  cwnd += 1;            // slow start
+//     else                  cwnd += 1 / cwnd;     // congestion avoidance
+// The paper removes a floor-related anomaly by using cwnd += 1/⌊cwnd⌋ in
+// congestion avoidance so ⌊cwnd⌋ increases by exactly one per epoch; that
+// modified increment is the default here (modified_ca_increment).
+//
+// On any detected loss (dup ACKs or timeout):
+//     ssthresh = max(min(cwnd / 2, maxwnd), 2);
+//     cwnd = 1;
+// followed by go-back-N retransmission (in WindowSender).
+//
+// The usable window is wnd = ⌊min(cwnd, maxwnd)⌋.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include "tcp/sender.h"
+
+namespace tcpdyn::tcp {
+
+struct TahoeParams {
+  double initial_cwnd = 1.0;
+  std::uint32_t initial_ssthresh = UINT32_MAX;  // effectively unbounded
+  // Paper §2.1: use cwnd += 1/⌊cwnd⌋ instead of 1/cwnd in congestion
+  // avoidance, so that the window grows by one packet per epoch exactly.
+  bool modified_ca_increment = true;
+};
+
+class TahoeSender : public WindowSender {
+ public:
+  TahoeSender(sim::Simulator& sim, net::Host& host, SenderParams params,
+              TahoeParams tahoe = {});
+
+  std::uint32_t window() const override;
+
+  double cwnd() const { return cwnd_; }
+  std::uint32_t ssthresh() const { return ssthresh_; }
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+  // Fired whenever cwnd changes (ACK of new data, or loss).
+  std::function<void(sim::Time, double)> on_cwnd_change;
+
+ protected:
+  void handle_new_ack(std::uint32_t newly_acked) override;
+  void handle_loss(LossSignal signal) override;
+
+ private:
+  void notify() {
+    if (on_cwnd_change) on_cwnd_change(sim_.now(), cwnd_);
+  }
+
+  TahoeParams tahoe_;
+  double cwnd_;
+  std::uint32_t ssthresh_;
+};
+
+}  // namespace tcpdyn::tcp

@@ -1,0 +1,56 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+namespace tcpdyn::util {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(header[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  if (values.size() != columns_) {
+    throw std::runtime_error("CsvWriter: column count mismatch");
+  }
+  bool first = true;
+  for (double v : values) {
+    if (!first) out_ << ',';
+    first = false;
+    out_ << v;
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  if (values.size() != columns_) {
+    throw std::runtime_error("CsvWriter: column count mismatch");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(values[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace tcpdyn::util

@@ -1,0 +1,34 @@
+// Minimal CSV writer for exporting traces (queue length, cwnd, drops) so the
+// paper's figures can be re-plotted with any external tool.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tcpdyn::util {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. Throws
+  // std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  // Appends one row; the number of fields must match the header.
+  void row(std::initializer_list<double> values);
+  void row(const std::vector<std::string>& values);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+// Escapes a field per RFC 4180 (quotes fields containing comma/quote/newline).
+std::string csv_escape(std::string_view field);
+
+}  // namespace tcpdyn::util

@@ -1,0 +1,75 @@
+#include "util/flags.h"
+
+#include <stdexcept>
+
+namespace tcpdyn::util {
+
+Flags::Flags(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  parse(args);
+}
+
+Flags::Flags(const std::vector<std::string>& args) { parse(args); }
+
+void Flags::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--name value" if the next token is not itself a flag; else boolean.
+    if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      values_[body] = args[i + 1];
+      ++i;
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.contains(name);
+}
+
+std::string Flags::get(const std::string& name,
+                       const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::stoll(it->second);
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw std::invalid_argument("flag --" + name + " is not a boolean: " + v);
+}
+
+std::vector<std::string> Flags::names() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace tcpdyn::util

@@ -1,0 +1,40 @@
+// Minimal command-line flag parsing for the tools: supports
+// --name=value, --name value, and bare boolean --name, plus positional
+// arguments. No registration step; callers pull typed values with
+// defaults. Unknown-flag detection is available via names().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tcpdyn::util {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+  explicit Flags(const std::vector<std::string>& args);
+
+  bool has(const std::string& name) const;
+
+  // Typed accessors with defaults. Malformed numeric values throw
+  // std::invalid_argument (via std::stod/stoll).
+  std::string get(const std::string& name,
+                  const std::string& fallback = "") const;
+  double get_double(const std::string& name, double fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  // --name and --name=true/1/yes are true; --name=false/0/no is false.
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  // All flag names seen, for unknown-flag validation.
+  std::vector<std::string> names() const;
+
+ private:
+  void parse(const std::vector<std::string>& args);
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tcpdyn::util

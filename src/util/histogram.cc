@@ -1,0 +1,69 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace tcpdyn::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  assert(hi > lo && bins >= 1);
+}
+
+void Histogram::add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+  } else if (value >= hi_) {
+    ++overflow_;
+  } else {
+    auto bin = static_cast<std::size_t>((value - lo_) / bin_width_);
+    bin = std::min(bin, counts_.size() - 1);  // guard FP edge at hi_
+    ++counts_[bin];
+  }
+}
+
+void Histogram::add_all(std::span<const double> values) {
+  for (double v : values) add(v);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + static_cast<double>(bin) * bin_width_;
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+std::size_t Histogram::mode_bin() const {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::vector<std::size_t> Histogram::peak_bins() const {
+  std::vector<std::size_t> peaks;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const std::uint64_t left = i > 0 ? counts_[i - 1] : 0;
+    const std::uint64_t right = i + 1 < counts_.size() ? counts_[i + 1] : 0;
+    if (counts_[i] > left && counts_[i] >= right) peaks.push_back(i);
+  }
+  return peaks;
+}
+
+std::string Histogram::render(int width) const {
+  std::ostringstream os;
+  const std::uint64_t peak =
+      counts_.empty() ? 1 : std::max<std::uint64_t>(1, counts_[mode_bin()]);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<int>(counts_[i] * static_cast<std::uint64_t>(width) / peak);
+    os << "[" << bin_lo(i) << ", " << bin_hi(i) << ") "
+       << std::string(static_cast<std::size_t>(bar), '#') << " " << counts_[i]
+       << "\n";
+  }
+  if (underflow_ > 0) os << "underflow: " << underflow_ << "\n";
+  if (overflow_ > 0) os << "overflow: " << overflow_ << "\n";
+  return os.str();
+}
+
+}  // namespace tcpdyn::util

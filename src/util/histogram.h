@@ -1,0 +1,47 @@
+// Fixed-bin histogram for gap/latency distributions (used to show the
+// bimodal ACK inter-arrival distribution that is the fingerprint of
+// ACK-compression: one mode at the ACK transmission time, one at the data
+// transmission time).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tcpdyn::util {
+
+class Histogram {
+ public:
+  // Uniform bins over [lo, hi); values outside are counted in underflow /
+  // overflow. Requires hi > lo and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  // Index of the fullest bin (0 if the histogram is empty).
+  std::size_t mode_bin() const;
+
+  // Local maxima (bins fuller than both neighbours, with count > 0),
+  // ordered by bin index. A bimodal distribution reports two.
+  std::vector<std::size_t> peak_bins() const;
+
+  // ASCII rendering: one line per bin, bar lengths scaled to `width`.
+  std::string render(int width = 50) const;
+
+ private:
+  double lo_, hi_, bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+}  // namespace tcpdyn::util

@@ -1,0 +1,47 @@
+// Lightweight leveled logging. Default level is kWarn so simulations are
+// silent in tests/benches; examples turn on kInfo/kDebug to narrate packet
+// events. Not thread-safe by design: the simulator is single-threaded.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tcpdyn::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+// Emits a line to stderr if `level` >= the global level.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace tcpdyn::util
+
+#define TCPDYN_LOG(level)                                      \
+  if (::tcpdyn::util::log_level() <= (level))                  \
+  ::tcpdyn::util::detail::LogMessage(level)
+
+#define TCPDYN_DEBUG TCPDYN_LOG(::tcpdyn::util::LogLevel::kDebug)
+#define TCPDYN_INFO TCPDYN_LOG(::tcpdyn::util::LogLevel::kInfo)
+#define TCPDYN_WARN TCPDYN_LOG(::tcpdyn::util::LogLevel::kWarn)
+#define TCPDYN_ERROR TCPDYN_LOG(::tcpdyn::util::LogLevel::kError)

@@ -1,0 +1,33 @@
+// Deterministic random number generation. Simulations must be reproducible
+// run-to-run, so all randomness (connection start jitter, retransmit jitter)
+// flows through a seeded SplitMix64 generator rather than std::random_device.
+#pragma once
+
+#include <cstdint>
+
+namespace tcpdyn::util {
+
+// SplitMix64: tiny, fast, full-period 64-bit generator; statistically strong
+// enough for start-time jitter and far simpler to keep deterministic across
+// platforms than the std::mt19937 distributions (whose outputs are not
+// standardized for floating point).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64();
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). n must be > 0.
+  std::uint64_t next_below(std::uint64_t n);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace tcpdyn::util

@@ -1,0 +1,158 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tcpdyn::util {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  s.count = xs.size();
+  s.min = xs[0];
+  s.max = xs[0];
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  double sq = 0.0;
+  for (double x : xs) {
+    const double d = x - s.mean;
+    sq += d * d;
+  }
+  s.variance = sq / static_cast<double>(s.count);
+  s.stddev = std::sqrt(s.variance);
+  return s;
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double num = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    num += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return num / std::sqrt(va * vb);
+}
+
+std::vector<double> detrend(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<double> out(xs.begin(), xs.end());
+  if (n < 2) {
+    if (n == 1) out[0] = 0.0;
+    return out;
+  }
+  // Least-squares fit of y = a + b*i.
+  const double nn = static_cast<double>(n);
+  const double mean_i = (nn - 1.0) / 2.0;
+  const double mean_y = mean(xs);
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double di = static_cast<double>(i) - mean_i;
+    sxy += di * (xs[i] - mean_y);
+    sxx += di * di;
+  }
+  const double b = sxx > 0.0 ? sxy / sxx : 0.0;
+  const double a = mean_y - b * mean_i;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = xs[i] - (a + b * static_cast<double>(i));
+  }
+  return out;
+}
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+  const std::size_t n = xs.size();
+  if (lag >= n) return 0.0;
+  const double m = mean(xs);
+  double denom = 0.0;
+  for (double x : xs) {
+    const double d = x - m;
+    denom += d * d;
+  }
+  if (denom <= 0.0) return 0.0;
+  double num = 0.0;
+  for (std::size_t i = 0; i + lag < n; ++i) {
+    num += (xs[i] - m) * (xs[i + lag] - m);
+  }
+  return num / denom;
+}
+
+std::optional<std::size_t> dominant_period(std::span<const double> xs,
+                                           std::size_t min_lag,
+                                           double min_corr) {
+  const std::size_t n = xs.size();
+  if (n < 4 || min_lag + 1 >= n / 2) return std::nullopt;
+  const std::size_t max_lag = n / 2;
+  std::vector<double> ac(max_lag + 1, 0.0);
+  for (std::size_t lag = min_lag; lag <= max_lag; ++lag) {
+    ac[lag] = autocorrelation(xs, lag);
+  }
+  // First local maximum above the threshold: a lag whose autocorrelation
+  // exceeds both neighbours. Skip the initial decay from lag 0 by requiring
+  // the function to have dipped below min_corr at least once first.
+  bool dipped = false;
+  for (std::size_t lag = min_lag + 1; lag < max_lag; ++lag) {
+    if (ac[lag] < min_corr) dipped = true;
+    if (dipped && ac[lag] >= min_corr && ac[lag] >= ac[lag - 1] &&
+        ac[lag] >= ac[lag + 1]) {
+      return lag;
+    }
+  }
+  return std::nullopt;
+}
+
+RunLengthStats run_lengths(std::span<const std::uint32_t> xs) {
+  RunLengthStats s;
+  s.total = xs.size();
+  if (xs.empty()) return s;
+  std::size_t run = 1;
+  std::size_t same_successor = 0;
+  s.runs = 1;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i] == xs[i - 1]) {
+      ++run;
+      ++same_successor;
+    } else {
+      s.max_run_length = std::max(s.max_run_length, run);
+      run = 1;
+      ++s.runs;
+    }
+  }
+  s.max_run_length = std::max(s.max_run_length, run);
+  s.mean_run_length =
+      static_cast<double>(s.total) / static_cast<double>(s.runs);
+  s.same_successor_fraction = xs.size() > 1
+      ? static_cast<double>(same_successor) / static_cast<double>(xs.size() - 1)
+      : 1.0;
+  return s;
+}
+
+}  // namespace tcpdyn::util

@@ -1,0 +1,70 @@
+// Statistics helpers used by the analysis layer: descriptive statistics,
+// Pearson correlation, linear detrending, autocorrelation-based period
+// estimation, and run-length analysis of categorical sequences.
+//
+// All functions operate on plain std::vector<double> (or spans thereof) so
+// they are trivially testable in isolation from the simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace tcpdyn::util {
+
+// Descriptive summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  // population variance
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+// Computes count/mean/variance/stddev/min/max in one pass.
+// Empty input yields a zeroed Summary with count == 0.
+Summary summarize(std::span<const double> xs);
+
+// Arithmetic mean; 0.0 for empty input.
+double mean(std::span<const double> xs);
+
+// p-th percentile (0 <= p <= 100) by linear interpolation between closest
+// ranks. Empty input returns 0.0.
+double percentile(std::span<const double> xs, double p);
+
+// Pearson correlation coefficient of two equal-length series.
+// Returns 0.0 when either series has zero variance or lengths differ/empty.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+// Removes the least-squares linear trend (intercept + slope*i) from xs.
+std::vector<double> detrend(std::span<const double> xs);
+
+// Normalized autocorrelation of a (detrended) series at the given lag.
+double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+// Estimates the dominant oscillation period of a series, in samples, as the
+// lag of the first local maximum of the autocorrelation function that exceeds
+// `min_corr`. Searches lags in [min_lag, xs.size()/2]. Returns nullopt when
+// no such peak exists (aperiodic or too-short series).
+std::optional<std::size_t> dominant_period(std::span<const double> xs,
+                                           std::size_t min_lag = 2,
+                                           double min_corr = 0.1);
+
+// Run-length statistics for a categorical sequence (e.g. the connection ids
+// of packets departing a queue, in order).
+struct RunLengthStats {
+  std::size_t total = 0;        // number of elements
+  std::size_t runs = 0;         // number of maximal same-value runs
+  double mean_run_length = 0.0; // total / runs
+  std::size_t max_run_length = 0;
+  // Fraction of elements whose successor has the same value. 1 - runs/total
+  // (for non-empty input); ~0 for perfectly interleaved two-symbol input.
+  double same_successor_fraction = 0.0;
+};
+
+RunLengthStats run_lengths(std::span<const std::uint32_t> xs);
+
+}  // namespace tcpdyn::util

@@ -1,0 +1,35 @@
+// Fixed-width console table printer used by the bench harnesses to emit the
+// rows/series the paper reports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tcpdyn::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Adds one row; short rows are padded with empty cells, long rows extend
+  // the column set.
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with column-aligned cells and a separator under the header.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given precision, trimming trailing zeros is NOT
+// done (fixed format) so columns line up.
+std::string fmt(double v, int precision = 2);
+std::string fmt_pct(double fraction, int precision = 1);  // 0.91 -> "91.0%"
+
+}  // namespace tcpdyn::util

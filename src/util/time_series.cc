@@ -1,0 +1,77 @@
+#include "util/time_series.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tcpdyn::util {
+
+void TimeSeries::record(double time, double value) {
+  if (!points_.empty()) {
+    assert(time >= points_.back().time && "time must be non-decreasing");
+    if (time == points_.back().time) {
+      points_.back().value = value;
+      return;
+    }
+  }
+  points_.push_back({time, value});
+}
+
+double TimeSeries::value_at(double t) const {
+  if (points_.empty() || t < points_.front().time) return 0.0;
+  // Last point with time <= t.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](double v, const SeriesPoint& p) { return v < p.time; });
+  return std::prev(it)->value;
+}
+
+std::vector<double> TimeSeries::resample(double from, double to,
+                                         double dt) const {
+  std::vector<double> out;
+  if (dt <= 0.0 || to < from) return out;
+  out.reserve(static_cast<std::size_t>((to - from) / dt) + 1);
+  std::size_t idx = 0;  // index of first point with time > t, advanced monotonically
+  for (double t = from; t <= to + 1e-12; t += dt) {
+    while (idx < points_.size() && points_[idx].time <= t) ++idx;
+    out.push_back(idx == 0 ? 0.0 : points_[idx - 1].value);
+  }
+  return out;
+}
+
+double TimeSeries::time_weighted_mean(double from, double to) const {
+  if (to <= from || points_.empty()) return 0.0;
+  double acc = 0.0;
+  double prev_t = from;
+  double prev_v = value_at(from);
+  for (const auto& p : points_) {
+    if (p.time <= from) continue;
+    if (p.time >= to) break;
+    acc += prev_v * (p.time - prev_t);
+    prev_t = p.time;
+    prev_v = p.value;
+  }
+  acc += prev_v * (to - prev_t);
+  return acc / (to - from);
+}
+
+double TimeSeries::max_in(double from, double to) const {
+  if (points_.empty()) return 0.0;
+  double mx = value_at(from);
+  for (const auto& p : points_) {
+    if (p.time < from) continue;
+    if (p.time > to) break;
+    mx = std::max(mx, p.value);
+  }
+  return mx;
+}
+
+void TimeSeries::trim_before(double t) {
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](double v, const SeriesPoint& p) { return v < p.time; });
+  if (it == points_.begin()) return;
+  --it;  // keep the point defining the value at t
+  points_.erase(points_.begin(), it);
+}
+
+}  // namespace tcpdyn::util

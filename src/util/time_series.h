@@ -1,0 +1,55 @@
+// An event-driven time series: (time, value) points recorded whenever a
+// quantity changes (queue length, cwnd, ...). Supports step-function
+// resampling onto a uniform grid, which the analysis layer needs for
+// correlation/period computations, and time-weighted averaging.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tcpdyn::util {
+
+// One observation: the series holds `value` from `time` until the next point.
+struct SeriesPoint {
+  double time = 0.0;   // seconds
+  double value = 0.0;
+};
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  // Appends a point. Times must be non-decreasing; a point at the same time
+  // as the previous one overwrites it (the later write wins, matching
+  // "value after the event").
+  void record(double time, double value);
+
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+  const std::vector<SeriesPoint>& points() const { return points_; }
+  double front_time() const { return points_.front().time; }
+  double back_time() const { return points_.back().time; }
+
+  // Value of the step function at time t: the value of the last point with
+  // point.time <= t, or 0.0 before the first point / for an empty series.
+  double value_at(double t) const;
+
+  // Samples the step function at times from, from+dt, ..., <= to.
+  std::vector<double> resample(double from, double to, double dt) const;
+
+  // Time-weighted mean of the step function over [from, to].
+  double time_weighted_mean(double from, double to) const;
+
+  // Maximum recorded value in [from, to] (considering the value carried into
+  // the window as well). 0.0 for an empty series.
+  double max_in(double from, double to) const;
+
+  // Drops all points strictly before `t` except the last one at or before it
+  // (which is needed to evaluate the step function inside the kept window).
+  void trim_before(double t);
+
+ private:
+  std::vector<SeriesPoint> points_;
+};
+
+}  // namespace tcpdyn::util

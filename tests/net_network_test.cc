@@ -1,0 +1,220 @@
+// Switch routing, host demux, and Network topology/route computation.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+
+namespace tcpdyn::net {
+namespace {
+
+class CollectingSink : public PacketSink {
+ public:
+  void deliver(const Packet& pkt) override { packets.push_back(pkt); }
+  std::vector<Packet> packets;
+};
+
+Packet make_packet(ConnId conn, PacketKind kind, NodeId src, NodeId dst) {
+  Packet p;
+  p.conn = conn;
+  p.kind = kind;
+  p.size_bytes = kind == PacketKind::kData ? 500 : 50;
+  p.src = src;
+  p.dst = dst;
+  return p;
+}
+
+TEST(Network, DumbbellDelivery) {
+  sim::Simulator sim;
+  Network net(sim);
+  const NodeId h1 = net.add_host("H1");
+  const NodeId h2 = net.add_host("H2");
+  const NodeId s1 = net.add_switch("S1");
+  const NodeId s2 = net.add_switch("S2");
+  net.connect(h1, s1, 10'000'000, sim::Time::microseconds(100),
+              QueueLimit::infinite(), QueueLimit::infinite());
+  net.connect(s1, s2, 50'000, sim::Time::seconds(0.01), QueueLimit::of(20),
+              QueueLimit::of(20));
+  net.connect(s2, h2, 10'000'000, sim::Time::microseconds(100),
+              QueueLimit::infinite(), QueueLimit::infinite());
+  net.compute_routes();
+
+  CollectingSink sink;
+  net.host(h2).register_endpoint(1, PacketKind::kData, &sink);
+  net.host(h1).send(make_packet(1, PacketKind::kData, h1, h2));
+  sim.run_until(sim::Time::seconds(1.0));
+  ASSERT_EQ(sink.packets.size(), 1u);
+  EXPECT_EQ(sink.packets[0].conn, 1u);
+  // Path delay: 0.4ms + 0.1ms + 80ms + 10ms + 0.4ms + 0.1ms + 0.1ms
+  // (two access transmissions, bottleneck, propagations, host processing).
+  EXPECT_GT(sim.now(), sim::Time::milliseconds(90));
+}
+
+TEST(Network, IsHostAndAccessors) {
+  sim::Simulator sim;
+  Network net(sim);
+  const NodeId h = net.add_host("H");
+  const NodeId s = net.add_switch("S");
+  EXPECT_TRUE(net.is_host(h));
+  EXPECT_FALSE(net.is_host(s));
+  EXPECT_THROW(net.host(s), std::logic_error);
+  EXPECT_THROW(net.switch_node(h), std::logic_error);
+  EXPECT_NO_THROW(net.host(h));
+  EXPECT_NO_THROW(net.switch_node(s));
+}
+
+TEST(Network, HostSingleLinkEnforced) {
+  sim::Simulator sim;
+  Network net(sim);
+  const NodeId h = net.add_host("H");
+  const NodeId s1 = net.add_switch("S1");
+  const NodeId s2 = net.add_switch("S2");
+  net.connect(h, s1, 1000, sim::Time::zero(), QueueLimit::infinite(),
+              QueueLimit::infinite());
+  EXPECT_THROW(net.connect(h, s2, 1000, sim::Time::zero(),
+                           QueueLimit::infinite(), QueueLimit::infinite()),
+               std::logic_error);
+}
+
+TEST(Network, PortBetween) {
+  sim::Simulator sim;
+  Network net(sim);
+  const NodeId a = net.add_switch("A");
+  const NodeId b = net.add_switch("B");
+  const NodeId c = net.add_switch("C");
+  net.connect(a, b, 1000, sim::Time::zero(), QueueLimit::of(5),
+              QueueLimit::of(7));
+  EXPECT_NE(net.port_between(a, b), nullptr);
+  EXPECT_NE(net.port_between(b, a), nullptr);
+  EXPECT_NE(net.port_between(a, b), net.port_between(b, a));
+  EXPECT_EQ(net.port_between(a, c), nullptr);
+  EXPECT_EQ(net.port_between(a, b)->name(), "A->B");
+}
+
+TEST(Network, AsymmetricBuffers) {
+  sim::Simulator sim;
+  Network net(sim);
+  const NodeId a = net.add_switch("A");
+  const NodeId b = net.add_switch("B");
+  net.connect(a, b, 1000, sim::Time::zero(), QueueLimit::of(5),
+              QueueLimit::of(7));
+  EXPECT_EQ(net.port_between(a, b)->counters().max_length, 0u);
+  // Check the limits went to the right directions via the queue behaviour:
+  // fill a->b beyond 5.
+  for (int i = 0; i < 10; ++i) {
+    Packet p = make_packet(0, PacketKind::kData, 0, 0);
+    net.port_between(a, b)->enqueue(std::move(p));
+  }
+  EXPECT_EQ(net.port_between(a, b)->counters().drops, 10u - 5u);
+}
+
+TEST(Network, ChainMultiHopRouting) {
+  // H1-S1-S2-S3-H3: a packet from H1 to H3 must traverse both trunks.
+  sim::Simulator sim;
+  Network net(sim);
+  const NodeId h1 = net.add_host("H1");
+  const NodeId h3 = net.add_host("H3");
+  const NodeId s1 = net.add_switch("S1");
+  const NodeId s2 = net.add_switch("S2");
+  const NodeId s3 = net.add_switch("S3");
+  const auto inf = QueueLimit::infinite();
+  net.connect(h1, s1, 10'000'000, sim::Time::microseconds(100), inf, inf);
+  net.connect(s1, s2, 50'000, sim::Time::milliseconds(1), inf, inf);
+  net.connect(s2, s3, 50'000, sim::Time::milliseconds(1), inf, inf);
+  net.connect(s3, h3, 10'000'000, sim::Time::microseconds(100), inf, inf);
+  net.compute_routes();
+
+  int trunk1 = 0, trunk2 = 0;
+  net.port_between(s1, s2)->on_depart = [&](sim::Time, const Packet&) {
+    ++trunk1;
+  };
+  net.port_between(s2, s3)->on_depart = [&](sim::Time, const Packet&) {
+    ++trunk2;
+  };
+  CollectingSink sink;
+  net.host(h3).register_endpoint(5, PacketKind::kData, &sink);
+  net.host(h1).send(make_packet(5, PacketKind::kData, h1, h3));
+  sim.run_until(sim::Time::seconds(2.0));
+  EXPECT_EQ(trunk1, 1);
+  EXPECT_EQ(trunk2, 1);
+  ASSERT_EQ(sink.packets.size(), 1u);
+}
+
+TEST(Network, SwitchWithoutRouteThrows) {
+  sim::Simulator sim;
+  Network net(sim);
+  const NodeId s = net.add_switch("S");
+  Switch& sw = net.switch_node(s);
+  Packet p = make_packet(0, PacketKind::kData, 7, 8);
+  EXPECT_THROW(sw.receive(std::move(p)), std::logic_error);
+}
+
+TEST(Host, DemuxByConnAndKind) {
+  sim::Simulator sim;
+  Network net(sim);
+  const NodeId h1 = net.add_host("H1");
+  const NodeId h2 = net.add_host("H2");
+  const NodeId s = net.add_switch("S");
+  const auto inf = QueueLimit::infinite();
+  net.connect(h1, s, 10'000'000, sim::Time::microseconds(100), inf, inf);
+  net.connect(s, h2, 10'000'000, sim::Time::microseconds(100), inf, inf);
+  net.compute_routes();
+
+  CollectingSink data1, ack1, data2;
+  net.host(h2).register_endpoint(1, PacketKind::kData, &data1);
+  net.host(h2).register_endpoint(1, PacketKind::kAck, &ack1);
+  net.host(h2).register_endpoint(2, PacketKind::kData, &data2);
+
+  net.host(h1).send(make_packet(1, PacketKind::kData, h1, h2));
+  net.host(h1).send(make_packet(1, PacketKind::kAck, h1, h2));
+  net.host(h1).send(make_packet(2, PacketKind::kData, h1, h2));
+  sim.run_until(sim::Time::seconds(1.0));
+  EXPECT_EQ(data1.packets.size(), 1u);
+  EXPECT_EQ(ack1.packets.size(), 1u);
+  EXPECT_EQ(data2.packets.size(), 1u);
+}
+
+TEST(Host, UnregisteredConnectionThrows) {
+  sim::Simulator sim;
+  Network net(sim);
+  const NodeId h1 = net.add_host("H1");
+  const NodeId h2 = net.add_host("H2");
+  const NodeId s = net.add_switch("S");
+  const auto inf = QueueLimit::infinite();
+  net.connect(h1, s, 10'000'000, sim::Time::microseconds(100), inf, inf);
+  net.connect(s, h2, 10'000'000, sim::Time::microseconds(100), inf, inf);
+  net.compute_routes();
+  net.host(h1).send(make_packet(9, PacketKind::kData, h1, h2));
+  EXPECT_THROW(sim.run_until(sim::Time::seconds(1.0)), std::logic_error);
+}
+
+TEST(Host, ProcessingDelayApplied) {
+  sim::Simulator sim;
+  Network net(sim, sim::Time::milliseconds(5));  // exaggerated for the test
+  const NodeId h1 = net.add_host("H1");
+  const NodeId h2 = net.add_host("H2");
+  const NodeId s = net.add_switch("S");
+  const auto inf = QueueLimit::infinite();
+  // Instant links so only processing delay remains.
+  net.connect(h1, s, 1'000'000'000, sim::Time::zero(), inf, inf);
+  net.connect(s, h2, 1'000'000'000, sim::Time::zero(), inf, inf);
+  net.compute_routes();
+  CollectingSink sink;
+  net.host(h2).register_endpoint(1, PacketKind::kData, &sink);
+  sim::Time delivered;
+  net.host(h2).on_deliver = [&](sim::Time t, const Packet&) { delivered = t; };
+  net.host(h1).send(make_packet(1, PacketKind::kData, h1, h2));
+  sim.run_until(sim::Time::seconds(1.0));
+  ASSERT_EQ(sink.packets.size(), 1u);
+  // 500B at 1 Gbps = 4 us per hop (x2) + 5 ms host processing.
+  EXPECT_EQ(delivered, sim::Time::milliseconds(5) + sim::Time::microseconds(8));
+}
+
+TEST(Host, SendWithoutLinkThrows) {
+  sim::Simulator sim;
+  Network net(sim);
+  const NodeId h = net.add_host("H");
+  EXPECT_THROW(net.host(h).send(make_packet(0, PacketKind::kData, h, h)),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace tcpdyn::net

@@ -1,0 +1,124 @@
+#include "net/queue.h"
+
+#include <gtest/gtest.h>
+
+namespace tcpdyn::net {
+namespace {
+
+Packet data_pkt(std::uint32_t size = 500) {
+  Packet p;
+  p.kind = PacketKind::kData;
+  p.size_bytes = size;
+  return p;
+}
+
+Packet ack_pkt() {
+  Packet p;
+  p.kind = PacketKind::kAck;
+  p.size_bytes = 50;
+  return p;
+}
+
+TEST(DropTailQueue, FifoOrder) {
+  DropTailQueue q(QueueLimit::of(10));
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    Packet p = data_pkt();
+    p.seq = i;
+    ASSERT_TRUE(q.push(std::move(p)));
+  }
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    auto p = q.pop();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->seq, i);
+  }
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(DropTailQueue, DropsWhenFull) {
+  DropTailQueue q(QueueLimit::of(2));
+  EXPECT_TRUE(q.push(data_pkt()));
+  EXPECT_TRUE(q.push(data_pkt()));
+  EXPECT_FALSE(q.push(data_pkt()));  // arriving packet dropped (drop-tail)
+  EXPECT_EQ(q.length(), 2u);
+  EXPECT_EQ(q.counters().drops, 1u);
+  EXPECT_EQ(q.counters().data_drops, 1u);
+  EXPECT_EQ(q.counters().arrivals, 3u);
+}
+
+TEST(DropTailQueue, AckDropsCountedSeparately) {
+  DropTailQueue q(QueueLimit::of(1));
+  EXPECT_TRUE(q.push(data_pkt()));
+  EXPECT_FALSE(q.push(ack_pkt()));
+  EXPECT_EQ(q.counters().ack_drops, 1u);
+  EXPECT_EQ(q.counters().data_drops, 0u);
+}
+
+TEST(DropTailQueue, InfiniteNeverDrops) {
+  DropTailQueue q(QueueLimit::infinite());
+  for (int i = 0; i < 10000; ++i) ASSERT_TRUE(q.push(data_pkt()));
+  EXPECT_EQ(q.length(), 10000u);
+  EXPECT_EQ(q.counters().drops, 0u);
+  EXPECT_TRUE(q.limit().is_infinite());
+}
+
+TEST(DropTailQueue, ByteAccounting) {
+  DropTailQueue q(QueueLimit::of(10));
+  q.push(data_pkt(500));
+  q.push(ack_pkt());
+  EXPECT_EQ(q.length_bytes(), 550u);
+  q.pop();
+  EXPECT_EQ(q.length_bytes(), 50u);
+  q.pop();
+  EXPECT_EQ(q.length_bytes(), 0u);
+}
+
+TEST(DropTailQueue, MaxLengthHighWaterMark) {
+  DropTailQueue q(QueueLimit::of(10));
+  for (int i = 0; i < 7; ++i) q.push(data_pkt());
+  for (int i = 0; i < 5; ++i) q.pop();
+  for (int i = 0; i < 2; ++i) q.push(data_pkt());
+  EXPECT_EQ(q.counters().max_length, 7u);
+}
+
+TEST(DropTailQueue, FrontPeeksWithoutRemoval) {
+  DropTailQueue q(QueueLimit::of(10));
+  Packet p = data_pkt();
+  p.seq = 42;
+  q.push(std::move(p));
+  EXPECT_EQ(q.front().seq, 42u);
+  EXPECT_EQ(q.length(), 1u);
+}
+
+TEST(DropTailQueue, ZeroCapacityDropsEverything) {
+  DropTailQueue q(QueueLimit::of(0));
+  EXPECT_FALSE(q.push(data_pkt()));
+  EXPECT_EQ(q.counters().drops, 1u);
+}
+
+// Property: after any interleaving of pushes and pops, length equals
+// pushes_accepted - pops and byte count is consistent.
+class QueueConservation : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QueueConservation, LengthAndBytesConsistent) {
+  const std::size_t cap = GetParam();
+  DropTailQueue q(QueueLimit::of(cap));
+  std::size_t accepted = 0, popped = 0;
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 1000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    if ((x >> 33) % 3 != 0) {
+      if (q.push(data_pkt(100))) ++accepted;
+    } else {
+      if (q.pop().has_value()) ++popped;
+    }
+    ASSERT_EQ(q.length(), accepted - popped);
+    ASSERT_EQ(q.length_bytes(), (accepted - popped) * 100);
+    ASSERT_LE(q.length(), cap);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, QueueConservation,
+                         ::testing::Values(1, 2, 5, 20, 1000));
+
+}  // namespace
+}  // namespace tcpdyn::net

@@ -1,0 +1,191 @@
+// Tests for the simulation substrate: Time arithmetic, the event scheduler
+// (ordering, ties, cancellation), and the Simulator facade.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace tcpdyn::sim {
+namespace {
+
+TEST(Time, Constructors) {
+  EXPECT_EQ(Time::nanoseconds(5).ns(), 5);
+  EXPECT_EQ(Time::microseconds(3).ns(), 3000);
+  EXPECT_EQ(Time::milliseconds(2).ns(), 2'000'000);
+  EXPECT_EQ(Time::seconds(1.5).ns(), 1'500'000'000);
+  EXPECT_EQ(Time::zero().ns(), 0);
+  EXPECT_DOUBLE_EQ(Time::seconds(0.25).sec(), 0.25);
+}
+
+TEST(Time, TransmissionTimes) {
+  // The paper's numbers: 500 B at 50 Kbps = 80 ms; 50 B ACK = 8 ms;
+  // 500 B at 10 Mbps = 0.4 ms.
+  EXPECT_EQ(Time::transmission(500, 50'000).ns(), 80'000'000);
+  EXPECT_EQ(Time::transmission(50, 50'000).ns(), 8'000'000);
+  EXPECT_EQ(Time::transmission(500, 10'000'000).ns(), 400'000);
+  EXPECT_EQ(Time::transmission(0, 50'000).ns(), 0);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::seconds(1.0);
+  const Time b = Time::milliseconds(500);
+  EXPECT_EQ((a + b).ns(), 1'500'000'000);
+  EXPECT_EQ((a - b).ns(), 500'000'000);
+  EXPECT_EQ((b * 3).ns(), 1'500'000'000);
+  EXPECT_EQ((a / 4).ns(), 250'000'000);
+  EXPECT_LT(b, a);
+  EXPECT_GE(a, a);
+}
+
+TEST(Scheduler, RunsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(Time::seconds(3.0), [&] { order.push_back(3); });
+  sched.schedule_at(Time::seconds(1.0), [&] { order.push_back(1); });
+  sched.schedule_at(Time::seconds(2.0), [&] { order.push_back(2); });
+  while (!sched.empty()) sched.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, SimultaneousEventsFifo) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.schedule_at(Time::seconds(1.0), [&order, i] { order.push_back(i); });
+  }
+  while (!sched.empty()) sched.run_next();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, Cancellation) {
+  Scheduler sched;
+  int fired = 0;
+  EventHandle h1 = sched.schedule_at(Time::seconds(1.0), [&] { ++fired; });
+  EventHandle h2 = sched.schedule_at(Time::seconds(2.0), [&] { ++fired; });
+  EXPECT_TRUE(h1.pending());
+  h1.cancel();
+  EXPECT_FALSE(h1.pending());
+  h1.cancel();  // idempotent
+  while (!sched.empty()) sched.run_next();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(h2.pending());  // fired events are no longer pending
+}
+
+TEST(Scheduler, InertHandleIsSafe) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no-op
+}
+
+TEST(Scheduler, NextTimeSkipsCancelled) {
+  Scheduler sched;
+  EventHandle h = sched.schedule_at(Time::seconds(1.0), [] {});
+  sched.schedule_at(Time::seconds(5.0), [] {});
+  h.cancel();
+  EXPECT_EQ(sched.next_time(), Time::seconds(5.0));
+}
+
+TEST(Scheduler, EmptyAfterAllCancelled) {
+  Scheduler sched;
+  EventHandle h = sched.schedule_at(Time::seconds(1.0), [] {});
+  EXPECT_FALSE(sched.empty());
+  h.cancel();
+  EXPECT_TRUE(sched.empty());
+  EXPECT_EQ(sched.next_time(), Time::max());
+}
+
+TEST(Simulator, ClockAdvancesBeforeDispatch) {
+  // Regression test for the stale-clock bug: an event's action must observe
+  // now() == its own firing time, and relative scheduling inside the action
+  // must be relative to that time.
+  Simulator sim;
+  Time seen_first = Time::zero();
+  Time seen_second = Time::zero();
+  sim.schedule(Time::seconds(1.0), [&] {
+    seen_first = sim.now();
+    sim.schedule(Time::seconds(2.0), [&] { seen_second = sim.now(); });
+  });
+  sim.run_until(Time::seconds(10.0));
+  EXPECT_EQ(seen_first, Time::seconds(1.0));
+  EXPECT_EQ(seen_second, Time::seconds(3.0));
+}
+
+TEST(Simulator, RunUntilExecutesEventsAtBoundary) {
+  Simulator sim;
+  bool at_boundary = false;
+  bool beyond = false;
+  sim.schedule(Time::seconds(5.0), [&] { at_boundary = true; });
+  sim.schedule(Time::seconds(5.1), [&] { beyond = true; });
+  sim.run_until(Time::seconds(5.0));
+  EXPECT_TRUE(at_boundary);
+  EXPECT_FALSE(beyond);
+  EXPECT_EQ(sim.now(), Time::seconds(5.0));
+}
+
+TEST(Simulator, ClockReachesUntilWhenIdle) {
+  Simulator sim;
+  sim.run_until(Time::seconds(7.0));
+  EXPECT_EQ(sim.now(), Time::seconds(7.0));
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule(Time::seconds(1.0), [&] {
+    sim.schedule(Time::seconds(-5.0), [&] {
+      ran = true;
+      EXPECT_EQ(sim.now(), Time::seconds(1.0));
+    });
+  });
+  sim.run_until(Time::seconds(2.0));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule(Time::seconds(i), [&] {
+      if (++count == 3) sim.stop();
+    });
+  }
+  sim.run_until(Time::seconds(100.0));
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.now(), Time::seconds(3.0));
+}
+
+TEST(Simulator, RunAllDrainsQueue) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(Time::seconds(1.0), [&] {
+    ++count;
+    sim.schedule(Time::seconds(1.0), [&] { ++count; });
+  });
+  sim.run_all();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), Time::seconds(2.0));
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim;
+  Time last = Time::zero();
+  int count = 0;
+  for (int i = 0; i < 10000; ++i) {
+    // Pseudo-random but deterministic times.
+    const Time t = Time::microseconds((i * 7919) % 100000);
+    sim.schedule(t, [&, t] {
+      EXPECT_GE(sim.now(), last);
+      last = sim.now();
+      ++count;
+    });
+  }
+  sim.run_until(Time::seconds(1.0));
+  EXPECT_EQ(count, 10000);
+}
+
+}  // namespace
+}  // namespace tcpdyn::sim

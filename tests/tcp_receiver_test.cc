@@ -1,0 +1,209 @@
+// Receiver: cumulative ACKs, out-of-order reassembly, duplicate handling,
+// and the delayed-ACK option (combine two / conservative timer).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+#include "tcp/receiver.h"
+
+namespace tcpdyn::tcp {
+namespace {
+
+class AckDiscard : public net::PacketSink {
+ public:
+  void deliver(const net::Packet&) override {}
+};
+
+class ReceiverTest : public ::testing::Test {
+ protected:
+  ReceiverTest() : net_(sim_, sim::Time::zero()) {
+    h1_ = net_.add_host("H1");
+    h2_ = net_.add_host("H2");
+    net_.connect(h1_, h2_, 1'000'000'000, sim::Time::zero(),
+                 net::QueueLimit::infinite(), net::QueueLimit::infinite());
+    net_.compute_routes();
+    // ACKs the receiver emits land on H1; absorb them.
+    net_.host(h1_).register_endpoint(0, net::PacketKind::kAck, &discard_);
+  }
+  AckDiscard discard_;
+
+  ReceiverParams params(bool delayed = false) {
+    ReceiverParams p;
+    p.conn = 0;
+    p.self = h2_;
+    p.peer = h1_;
+    p.delayed_ack = delayed;
+    return p;
+  }
+
+  std::unique_ptr<Receiver> make(bool delayed = false) {
+    auto r = std::make_unique<Receiver>(sim_, net_.host(h2_), params(delayed));
+    r->on_ack_sent = [this](sim::Time t, const net::Packet& a) {
+      acks_.emplace_back(t, a.ack);
+    };
+    return r;
+  }
+
+  void data(Receiver& r, std::uint32_t seq) {
+    net::Packet p;
+    p.conn = 0;
+    p.kind = net::PacketKind::kData;
+    p.seq = seq;
+    p.size_bytes = 500;
+    p.src = h1_;
+    p.dst = h2_;
+    r.deliver(p);
+  }
+
+  sim::Simulator sim_;
+  net::Network net_;
+  net::NodeId h1_ = 0, h2_ = 0;
+  std::vector<std::pair<sim::Time, std::uint32_t>> acks_;
+};
+
+TEST_F(ReceiverTest, InOrderCumulativeAcks) {
+  auto r = make();
+  for (std::uint32_t i = 0; i < 4; ++i) data(*r, i);
+  ASSERT_EQ(acks_.size(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(acks_[i].second, i + 1);
+  EXPECT_EQ(r->next_expected(), 4u);
+}
+
+TEST_F(ReceiverTest, OutOfOrderGeneratesDupAcks) {
+  auto r = make();
+  data(*r, 0);
+  data(*r, 2);  // gap at 1
+  data(*r, 3);
+  ASSERT_EQ(acks_.size(), 3u);
+  EXPECT_EQ(acks_[0].second, 1u);
+  EXPECT_EQ(acks_[1].second, 1u);  // duplicate ACK
+  EXPECT_EQ(acks_[2].second, 1u);  // duplicate ACK
+}
+
+TEST_F(ReceiverTest, GapFillJumpsAck) {
+  auto r = make();
+  data(*r, 0);
+  data(*r, 2);
+  data(*r, 3);
+  data(*r, 1);  // fills the gap
+  EXPECT_EQ(acks_.back().second, 4u);
+  EXPECT_EQ(r->next_expected(), 4u);
+}
+
+TEST_F(ReceiverTest, BelowWindowDuplicateStillAcked) {
+  auto r = make();
+  data(*r, 0);
+  data(*r, 0);  // retransmission of delivered data
+  ASSERT_EQ(acks_.size(), 2u);
+  EXPECT_EQ(acks_[1].second, 1u);
+  EXPECT_EQ(r->duplicates_received(), 1u);
+}
+
+TEST_F(ReceiverTest, RedundantOutOfOrderDuplicate) {
+  auto r = make();
+  data(*r, 2);
+  data(*r, 2);  // buffered twice: set dedupes, both acked
+  EXPECT_EQ(acks_.size(), 2u);
+  data(*r, 0);
+  data(*r, 1);
+  EXPECT_EQ(r->next_expected(), 3u);
+}
+
+TEST_F(ReceiverTest, DelayedAckCombinesTwo) {
+  auto r = make(/*delayed=*/true);
+  data(*r, 0);
+  EXPECT_TRUE(acks_.empty());  // held
+  data(*r, 1);
+  ASSERT_EQ(acks_.size(), 1u);  // one ACK covers both
+  EXPECT_EQ(acks_[0].second, 2u);
+  EXPECT_EQ(r->acks_sent(), 1u);
+}
+
+TEST_F(ReceiverTest, DelayedAckTimerFires) {
+  auto r = make(/*delayed=*/true);
+  data(*r, 0);
+  EXPECT_TRUE(acks_.empty());
+  sim_.run_until(sim::Time::milliseconds(300));
+  ASSERT_EQ(acks_.size(), 1u);
+  EXPECT_EQ(acks_[0].second, 1u);
+  EXPECT_EQ(acks_[0].first, sim::Time::milliseconds(200));  // default timeout
+}
+
+TEST_F(ReceiverTest, DelayedAckOutOfOrderAcksImmediately) {
+  auto r = make(/*delayed=*/true);
+  data(*r, 3);  // out of order: ACK at once so the sender sees dup ACKs
+  ASSERT_EQ(acks_.size(), 1u);
+  EXPECT_EQ(acks_[0].second, 0u);
+}
+
+TEST_F(ReceiverTest, DelayedAckTimerCancelledBySecondPacket) {
+  auto r = make(/*delayed=*/true);
+  data(*r, 0);
+  sim_.run_until(sim::Time::milliseconds(100));
+  data(*r, 1);
+  sim_.run_until(sim::Time::seconds(1.0));
+  // Exactly one ACK: the combined one; the timer must not add another.
+  EXPECT_EQ(acks_.size(), 1u);
+  EXPECT_EQ(acks_[0].second, 2u);
+}
+
+TEST_F(ReceiverTest, AckPacketFields) {
+  ReceiverParams p = params();
+  p.ack_bytes = 42;
+  Receiver r(sim_, net_.host(h2_), p);
+  net::Packet seen;
+  r.on_ack_sent = [&](sim::Time, const net::Packet& a) { seen = a; };
+  net::Packet d;
+  d.conn = 0;
+  d.kind = net::PacketKind::kData;
+  d.seq = 0;
+  r.deliver(d);
+  EXPECT_EQ(seen.kind, net::PacketKind::kAck);
+  EXPECT_EQ(seen.size_bytes, 42u);
+  EXPECT_EQ(seen.src, h2_);
+  EXPECT_EQ(seen.dst, h1_);
+  EXPECT_EQ(seen.ack, 1u);
+}
+
+// Property: for any arrival permutation of a window, the final cumulative
+// ACK equals the window size and every packet is eventually acknowledged.
+class ReceiverPermutation : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReceiverPermutation, ReassemblesAnyOrder) {
+  sim::Simulator sim;
+  net::Network net(sim, sim::Time::zero());
+  const auto a = net.add_host("A");
+  const auto b = net.add_host("B");
+  net.connect(a, b, 1'000'000'000, sim::Time::zero(),
+              net::QueueLimit::infinite(), net::QueueLimit::infinite());
+  net.compute_routes();
+  ReceiverParams p;
+  p.conn = 0;
+  p.self = b;
+  p.peer = a;
+  Receiver r(sim, net.host(b), p);
+
+  std::vector<std::uint32_t> order{0, 1, 2, 3, 4, 5, 6, 7};
+  // Deterministic shuffle by seed.
+  std::uint64_t x = static_cast<std::uint64_t>(GetParam());
+  for (std::size_t i = order.size(); i > 1; --i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    std::swap(order[i - 1], order[(x >> 33) % i]);
+  }
+  for (std::uint32_t seq : order) {
+    net::Packet d;
+    d.conn = 0;
+    d.kind = net::PacketKind::kData;
+    d.seq = seq;
+    r.deliver(d);
+  }
+  EXPECT_EQ(r.next_expected(), 8u);
+  EXPECT_EQ(r.data_received(), 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReceiverPermutation,
+                         ::testing::Range(1, 12));
+
+}  // namespace
+}  // namespace tcpdyn::tcp

@@ -1,0 +1,111 @@
+#include "tcp/rtt_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace tcpdyn::tcp {
+namespace {
+
+using sim::Time;
+
+TEST(RttEstimator, InitialRtoBeforeSamples) {
+  RttEstimator e;
+  EXPECT_FALSE(e.has_sample());
+  EXPECT_EQ(e.rto(), Time::seconds(3.0));
+}
+
+TEST(RttEstimator, FirstSampleInitializes) {
+  RttEstimator e;
+  e.sample(Time::seconds(2.0));
+  EXPECT_TRUE(e.has_sample());
+  EXPECT_EQ(e.srtt(), Time::seconds(2.0));
+  EXPECT_EQ(e.rttvar(), Time::seconds(1.0));
+  // RTO = srtt + 4*rttvar = 6 s (already a multiple of the granularity).
+  EXPECT_EQ(e.rto(), Time::seconds(6.0));
+}
+
+TEST(RttEstimator, ConvergesOnConstantRtt) {
+  RttEstimator e;
+  for (int i = 0; i < 200; ++i) e.sample(Time::milliseconds(400));
+  EXPECT_NEAR(e.srtt().sec(), 0.4, 0.01);
+  EXPECT_NEAR(e.rttvar().sec(), 0.0, 0.01);
+  // RTO floors at min_rto (1 s) once variance collapses.
+  EXPECT_EQ(e.rto(), Time::seconds(1.0));
+}
+
+TEST(RttEstimator, GainsMatchJacobson) {
+  RttEstimator e;
+  e.sample(Time::milliseconds(800));  // srtt=800, rttvar=400
+  e.sample(Time::milliseconds(1600));
+  // srtt += (1600-800)/8 = 900; rttvar += (|1600-900... err uses new srtt?
+  // Our implementation: err = |sample - old srtt| = 800;
+  // rttvar += (800-400)/4 = 500.
+  EXPECT_EQ(e.srtt(), Time::milliseconds(900));
+  EXPECT_EQ(e.rttvar(), Time::milliseconds(500));
+}
+
+TEST(RttEstimator, RtoRoundedUpToGranularity) {
+  RttEstimator e;
+  // srtt=1.2s, rttvar=0.6s -> rto raw 3.6s -> rounds to 4.0s (500 ms ticks).
+  e.sample(Time::milliseconds(1200));
+  EXPECT_EQ(e.rto(), Time::seconds(4.0));
+}
+
+TEST(RttEstimator, BackoffDoublesAndSaturates) {
+  RttEstimator e;
+  for (int i = 0; i < 50; ++i) e.sample(Time::milliseconds(400));
+  EXPECT_EQ(e.rto(), Time::seconds(1.0));
+  e.backoff();
+  EXPECT_EQ(e.rto(), Time::seconds(2.0));
+  e.backoff();
+  EXPECT_EQ(e.rto(), Time::seconds(4.0));
+  for (int i = 0; i < 20; ++i) e.backoff();
+  EXPECT_EQ(e.rto(), Time::seconds(64.0));  // max_rto cap
+}
+
+TEST(RttEstimator, SampleResetsBackoff) {
+  RttEstimator e;
+  e.sample(Time::milliseconds(400));
+  e.backoff();
+  e.backoff();
+  EXPECT_GT(e.backoff_exponent(), 0);
+  e.sample(Time::milliseconds(400));
+  EXPECT_EQ(e.backoff_exponent(), 0);
+  EXPECT_EQ(e.rto(), Time::seconds(1.0));
+}
+
+TEST(RttEstimator, CustomParams) {
+  RttParams p;
+  p.initial_rto = Time::seconds(10.0);
+  p.min_rto = Time::milliseconds(200);
+  p.max_rto = Time::seconds(8.0);
+  p.granularity = Time::milliseconds(100);
+  RttEstimator e(p);
+  // The initial RTO is still clamped to max_rto.
+  EXPECT_EQ(e.rto(), Time::seconds(8.0));
+  e.sample(Time::milliseconds(50));  // srtt 50, var 25 -> 150 -> round to 200
+  EXPECT_EQ(e.rto(), Time::milliseconds(200));
+}
+
+// Property: RTO is always within [min_rto, max_rto] after any sample/backoff
+// sequence.
+class RtoBounds : public ::testing::TestWithParam<int> {};
+
+TEST_P(RtoBounds, AlwaysClamped) {
+  RttEstimator e;
+  std::uint64_t x = static_cast<std::uint64_t>(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    if ((x >> 60) % 4 == 0) {
+      e.backoff();
+    } else {
+      e.sample(Time::milliseconds(static_cast<std::int64_t>((x >> 30) % 5000)));
+    }
+    EXPECT_GE(e.rto(), Time::seconds(1.0));
+    EXPECT_LE(e.rto(), Time::seconds(64.0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtoBounds, ::testing::Values(1, 2, 3, 7, 42));
+
+}  // namespace
+}  // namespace tcpdyn::tcp

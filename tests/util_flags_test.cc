@@ -1,0 +1,91 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace tcpdyn::util {
+namespace {
+
+TEST(Flags, EqualsSyntax) {
+  Flags f({"--tau=0.01", "--buffer=20", "--name=fig4"});
+  EXPECT_TRUE(f.has("tau"));
+  EXPECT_DOUBLE_EQ(f.get_double("tau", 0.0), 0.01);
+  EXPECT_EQ(f.get_int("buffer", 0), 20);
+  EXPECT_EQ(f.get("name"), "fig4");
+}
+
+TEST(Flags, SpaceSyntax) {
+  Flags f({"--tau", "0.5", "--scenario", "fig8"});
+  EXPECT_DOUBLE_EQ(f.get_double("tau", 0.0), 0.5);
+  EXPECT_EQ(f.get("scenario"), "fig8");
+}
+
+TEST(Flags, BareBoolean) {
+  Flags f({"--chart", "--csv"});
+  EXPECT_TRUE(f.get_bool("chart"));
+  EXPECT_TRUE(f.get_bool("csv"));
+  EXPECT_FALSE(f.get_bool("absent"));
+  EXPECT_TRUE(f.get_bool("absent", true));
+}
+
+TEST(Flags, BooleanValues) {
+  Flags f({"--a=true", "--b=false", "--c=1", "--d=0", "--e=yes", "--g=no"});
+  EXPECT_TRUE(f.get_bool("a"));
+  EXPECT_FALSE(f.get_bool("b"));
+  EXPECT_TRUE(f.get_bool("c"));
+  EXPECT_FALSE(f.get_bool("d"));
+  EXPECT_TRUE(f.get_bool("e"));
+  EXPECT_FALSE(f.get_bool("g"));
+  Flags bad({"--x=maybe"});
+  EXPECT_THROW(bad.get_bool("x"), std::invalid_argument);
+}
+
+TEST(Flags, BooleanFollowedByFlag) {
+  // "--chart --tau 5": chart must be boolean, not consume "--tau".
+  Flags f({"--chart", "--tau", "5"});
+  EXPECT_TRUE(f.get_bool("chart"));
+  EXPECT_DOUBLE_EQ(f.get_double("tau", 0.0), 5.0);
+}
+
+TEST(Flags, Positional) {
+  Flags f({"input.csv", "--x=1", "output.csv"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.csv");
+  EXPECT_EQ(f.positional()[1], "output.csv");
+}
+
+TEST(Flags, Defaults) {
+  Flags f({});
+  EXPECT_EQ(f.get("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(f.get_double("missing", 3.5), 3.5);
+  EXPECT_EQ(f.get_int("missing", -7), -7);
+}
+
+TEST(Flags, ArgcArgvConstructorSkipsProgramName) {
+  const char* argv[] = {"prog", "--x=1", "pos"};
+  Flags f(3, argv);
+  EXPECT_EQ(f.get_int("x", 0), 1);
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "pos");
+}
+
+TEST(Flags, LastValueWins) {
+  Flags f({"--x=1", "--x=2"});
+  EXPECT_EQ(f.get_int("x", 0), 2);
+}
+
+TEST(Flags, NamesEnumerated) {
+  Flags f({"--b=1", "--a=2"});
+  const auto names = f.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");  // map order
+  EXPECT_EQ(names[1], "b");
+}
+
+TEST(Flags, MalformedNumberThrows) {
+  Flags f({"--x=abc"});
+  EXPECT_THROW(f.get_double("x", 0.0), std::invalid_argument);
+  EXPECT_THROW(f.get_int("x", 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcpdyn::util

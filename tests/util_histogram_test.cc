@@ -1,0 +1,83 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace tcpdyn::util {
+namespace {
+
+TEST(Histogram, BinAssignment) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);   // bin 0
+  h.add(0.99);  // bin 0
+  h.add(1.0);   // bin 1
+  h.add(9.99);  // bin 9
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.5);
+  h.add(1.0);  // hi is exclusive
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(Histogram, ModeBin) {
+  Histogram h(0.0, 3.0, 3);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(0.5);
+  EXPECT_EQ(h.mode_bin(), 1u);
+}
+
+TEST(Histogram, BimodalPeaks) {
+  // The ACK-compression fingerprint: a mode near the ACK transmission time
+  // (8 ms) and one near the data transmission time (80 ms).
+  Histogram h(0.0, 0.1, 20);  // 5 ms bins
+  for (int i = 0; i < 50; ++i) h.add(0.008);
+  for (int i = 0; i < 30; ++i) h.add(0.080);
+  const auto peaks = h.peak_bins();
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0], 1u);   // 5-10 ms
+  EXPECT_EQ(peaks[1], 16u);  // 80-85 ms
+}
+
+TEST(Histogram, UnimodalHasOnePeak) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(4.5);
+  EXPECT_EQ(h.peak_bins().size(), 1u);
+}
+
+TEST(Histogram, AddAllAndRender) {
+  Histogram h(0.0, 1.0, 2);
+  const std::vector<double> xs{0.1, 0.2, 0.7};
+  h.add_all(xs);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("[0, 0.5)"), std::string::npos);
+}
+
+TEST(Histogram, EmptyRenderSafe) {
+  Histogram h(0.0, 1.0, 3);
+  EXPECT_FALSE(h.render().empty());
+  EXPECT_EQ(h.mode_bin(), 0u);
+  EXPECT_TRUE(h.peak_bins().empty());
+}
+
+}  // namespace
+}  // namespace tcpdyn::util

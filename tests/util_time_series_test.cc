@@ -1,0 +1,120 @@
+#include "util/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace tcpdyn::util {
+namespace {
+
+TEST(TimeSeries, EmptySeriesDefaults) {
+  TimeSeries s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.value_at(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.time_weighted_mean(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.max_in(0.0, 1.0), 0.0);
+  EXPECT_TRUE(s.resample(0.0, 1.0, 0.1).size() == 11);
+}
+
+TEST(TimeSeries, StepFunctionSemantics) {
+  TimeSeries s;
+  s.record(1.0, 10.0);
+  s.record(2.0, 20.0);
+  s.record(4.0, 5.0);
+  EXPECT_DOUBLE_EQ(s.value_at(0.5), 0.0);   // before first point
+  EXPECT_DOUBLE_EQ(s.value_at(1.0), 10.0);  // at a point
+  EXPECT_DOUBLE_EQ(s.value_at(1.9), 10.0);  // between points
+  EXPECT_DOUBLE_EQ(s.value_at(2.0), 20.0);
+  EXPECT_DOUBLE_EQ(s.value_at(100.0), 5.0);  // after last point
+}
+
+TEST(TimeSeries, SameTimeOverwrites) {
+  TimeSeries s;
+  s.record(1.0, 10.0);
+  s.record(1.0, 99.0);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.value_at(1.0), 99.0);
+}
+
+TEST(TimeSeries, ResampleGrid) {
+  TimeSeries s;
+  s.record(0.0, 1.0);
+  s.record(1.0, 2.0);
+  s.record(2.0, 3.0);
+  const auto v = s.resample(0.0, 2.0, 0.5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 2.0);
+  EXPECT_DOUBLE_EQ(v[3], 2.0);
+  EXPECT_DOUBLE_EQ(v[4], 3.0);
+}
+
+TEST(TimeSeries, ResampleDegenerateArgs) {
+  TimeSeries s;
+  s.record(0.0, 1.0);
+  EXPECT_TRUE(s.resample(1.0, 0.0, 0.1).empty());  // to < from
+  EXPECT_TRUE(s.resample(0.0, 1.0, 0.0).empty());  // dt <= 0
+}
+
+TEST(TimeSeries, TimeWeightedMean) {
+  TimeSeries s;
+  s.record(0.0, 0.0);
+  s.record(1.0, 10.0);  // 10 over [1,3)
+  s.record(3.0, 0.0);
+  // Over [0,4]: 0*1 + 10*2 + 0*1 = 20 / 4 = 5.
+  EXPECT_DOUBLE_EQ(s.time_weighted_mean(0.0, 4.0), 5.0);
+  // Sub-window entirely inside a step.
+  EXPECT_DOUBLE_EQ(s.time_weighted_mean(1.5, 2.5), 10.0);
+  // Window straddling a step boundary.
+  EXPECT_DOUBLE_EQ(s.time_weighted_mean(0.5, 1.5), 5.0);
+}
+
+TEST(TimeSeries, MaxInWindow) {
+  TimeSeries s;
+  s.record(0.0, 1.0);
+  s.record(1.0, 7.0);
+  s.record(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(s.max_in(0.0, 3.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.max_in(1.5, 3.0), 7.0);  // value carried into window
+  EXPECT_DOUBLE_EQ(s.max_in(2.5, 3.0), 3.0);
+}
+
+TEST(TimeSeries, TrimBeforeKeepsDefiningPoint) {
+  TimeSeries s;
+  s.record(0.0, 1.0);
+  s.record(1.0, 2.0);
+  s.record(2.0, 3.0);
+  s.trim_before(1.5);
+  EXPECT_EQ(s.size(), 2u);  // the point at 1.0 defines value at 1.5
+  EXPECT_DOUBLE_EQ(s.value_at(1.5), 2.0);
+  EXPECT_DOUBLE_EQ(s.value_at(2.5), 3.0);
+}
+
+TEST(TimeSeries, TrimBeforeStart) {
+  TimeSeries s;
+  s.record(1.0, 2.0);
+  s.trim_before(0.5);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+// Property: resample values always equal value_at on the same grid.
+class ResampleConsistency : public ::testing::TestWithParam<double> {};
+
+TEST_P(ResampleConsistency, MatchesValueAt) {
+  const double dt = GetParam();
+  TimeSeries s;
+  for (int i = 0; i < 30; ++i) {
+    s.record(0.37 * i, static_cast<double>((i * 13) % 7));
+  }
+  const auto v = s.resample(0.0, 10.0, dt);
+  std::size_t k = 0;
+  for (double t = 0.0; t <= 10.0 + 1e-12 && k < v.size(); t += dt, ++k) {
+    EXPECT_DOUBLE_EQ(v[k], s.value_at(t)) << "t=" << t;
+  }
+  EXPECT_EQ(k, v.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, ResampleConsistency,
+                         ::testing::Values(0.05, 0.1, 0.37, 1.0, 2.5));
+
+}  // namespace
+}  // namespace tcpdyn::util

@@ -1,0 +1,147 @@
+// tcpdyn_run — run any configuration of the study from the command line.
+//
+//   tcpdyn_run --scenario fig4                       # a paper figure
+//   tcpdyn_run --scenario twoway --tau 0.1 --buffer 40 --sender reno
+//   tcpdyn_run --scenario oneway --conns 5 --duration 600 --chart
+//   tcpdyn_run --scenario fixed --w1 30 --w2 25 --tau 1
+//   tcpdyn_run --scenario chain --conns 50 --csv-dir out/
+//
+// Flags (defaults in brackets):
+//   --scenario   fig2|fig3|fig4|fig6|fig8|fig9|oneway|twoway|fixed|chain [fig4]
+//   --tau        bottleneck propagation delay, seconds [scenario default]
+//   --buffer     bottleneck buffer, packets [scenario default]
+//   --conns      connection count (oneway: all forward; twoway/chain) [2]
+//   --sender     tahoe|reno [tahoe]           (oneway/twoway only)
+//   --delayed-ack                              receiver option
+//   --pacing     pacing interval, seconds [0 = nonpaced]
+//   --random-drop                              bottleneck discard discipline
+//   --w1/--w2    fixed-window sizes [30/25]   (fixed only)
+//   --warmup     seconds [scenario default]
+//   --duration   measured seconds [scenario default]
+//   --chart      print ASCII queue charts
+//   --csv-dir    export raw traces as CSV into this directory
+#include <filesystem>
+#include <iostream>
+
+#include "core/csv_export.h"
+#include "core/report.h"
+#include "core/scenarios.h"
+#include "util/flags.h"
+
+using namespace tcpdyn;
+
+namespace {
+
+int usage(const char* msg) {
+  std::cerr << "tcpdyn_run: " << msg
+            << "\nsee the header of tools/tcpdyn_run.cpp for flags\n";
+  return 2;
+}
+
+core::Scenario custom_dumbbell(const util::Flags& flags, bool two_way) {
+  core::DumbbellParams p;
+  p.tau = sim::Time::seconds(flags.get_double("tau", 0.01));
+  const auto buffer =
+      static_cast<std::size_t>(flags.get_int("buffer", 20));
+  p.buffer_fwd = net::QueueLimit::of(buffer);
+  p.buffer_rev = net::QueueLimit::of(buffer);
+  if (flags.get_bool("random-drop", false)) {
+    p.bottleneck_policy = net::DropPolicy::kRandomDrop;
+  }
+
+  const auto n = static_cast<std::size_t>(flags.get_int("conns", 2));
+  const std::string sender = flags.get("sender", "tahoe");
+  std::vector<core::DumbbellConn> conns(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    conns[i].forward = two_way ? i < (n + 1) / 2 : true;
+    conns[i].kind = sender == "reno" ? tcp::SenderKind::kReno
+                                     : tcp::SenderKind::kTahoe;
+    conns[i].delayed_ack = flags.get_bool("delayed-ack", false);
+    conns[i].pacing_interval =
+        sim::Time::seconds(flags.get_double("pacing", 0.0));
+    conns[i].start_time = sim::Time::seconds(0.37 * static_cast<double>(i));
+  }
+
+  core::Scenario s;
+  s.name = two_way ? "twoway" : "oneway";
+  s.exp = std::make_unique<core::Experiment>();
+  s.warmup = sim::Time::seconds(100.0);
+  s.duration = sim::Time::seconds(400.0);
+  s.epoch_gap_sec = p.tau >= sim::Time::seconds(0.5) ? 8.0 : 2.0;
+  s.tahoe_connections = n;
+  s.dumbbell = p;
+  const core::DumbbellHandles h = core::build_dumbbell(*s.exp, p);
+  core::add_dumbbell_connections(*s.exp, h, conns);
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const std::string which = flags.get("scenario", "fig4");
+
+  core::Scenario scenario;
+  if (which == "fig2") {
+    scenario = core::fig2_one_way(
+        static_cast<std::size_t>(flags.get_int("conns", 3)),
+        flags.get_double("tau", 1.0),
+        static_cast<std::size_t>(flags.get_int("buffer", 20)));
+  } else if (which == "fig3") {
+    scenario = core::fig3_ten_connections(
+        static_cast<std::size_t>(flags.get_int("buffer", 30)));
+  } else if (which == "fig4") {
+    scenario = core::fig4_twoway(
+        flags.get_double("tau", 0.01),
+        static_cast<std::size_t>(flags.get_int("buffer", 20)));
+  } else if (which == "fig6") {
+    scenario = core::fig6_twoway(
+        flags.get_double("tau", 1.0),
+        static_cast<std::size_t>(flags.get_int("buffer", 20)));
+  } else if (which == "fig8" || which == "fig9" || which == "fixed") {
+    scenario = core::fig8_fixed_window(
+        flags.get_double("tau", which == "fig9" ? 1.0 : 0.01),
+        static_cast<std::uint32_t>(flags.get_int("w1", 30)),
+        static_cast<std::uint32_t>(flags.get_int("w2", 25)));
+  } else if (which == "chain") {
+    scenario = core::four_switch_chain(
+        static_cast<std::size_t>(flags.get_int("conns", 50)),
+        static_cast<std::uint64_t>(flags.get_int("seed", 7)));
+  } else if (which == "oneway") {
+    scenario = custom_dumbbell(flags, /*two_way=*/false);
+  } else if (which == "twoway") {
+    scenario = custom_dumbbell(flags, /*two_way=*/true);
+  } else {
+    return usage(("unknown scenario '" + which + "'").c_str());
+  }
+
+  if (flags.has("warmup")) {
+    scenario.warmup = sim::Time::seconds(flags.get_double("warmup", 100.0));
+  }
+  if (flags.has("duration")) {
+    scenario.duration =
+        sim::Time::seconds(flags.get_double("duration", 400.0));
+  }
+
+  const std::string name = scenario.name;
+  core::ScenarioSummary s = core::run_scenario(scenario);
+  core::print_summary(std::cout, name, s);
+
+  if (flags.get_bool("chart", false)) {
+    std::cout << '\n';
+    for (const auto& port : s.result.ports) {
+      core::print_queue_chart(std::cout, port.queue, s.result.t_start,
+                              std::min(s.result.t_end,
+                                       s.result.t_start + 60.0),
+                              100, 8, "queue " + port.name + " (packets)");
+    }
+  }
+  if (flags.has("csv-dir")) {
+    const std::string dir = flags.get("csv-dir");
+    std::filesystem::create_directories(dir);
+    const auto written = core::export_csv(s.result, dir, name);
+    std::cout << "\nwrote " << written.size() << " CSV files to " << dir
+              << '\n';
+  }
+  return 0;
+}
