@@ -3,29 +3,46 @@
 // time decreases with increasing buffer size as B^-2"), the root of the
 // rule-of-thumb "add buffers to raise throughput" that two-way traffic
 // breaks (see bench_fig4_5).
+//
+// The buffer axis runs as a core::SweepRunner grid, one simulation per
+// worker thread; rows come back in buffer order whatever the thread count.
 #include <iostream>
 #include <vector>
 
 #include "core/report.h"
 #include "core/scenarios.h"
+#include "core/sweep.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace tcpdyn;
 
 int main() {
   int failures = 0;
+  core::SweepGrid grid({{"buffer", {10, 20, 40, 80}}});
+  core::SweepRunner runner(grid,
+                           {.jobs = util::ThreadPool::default_jobs(),
+                            .seed = 1,
+                            .progress = false});
+  const core::SweepTable result =
+      runner.run([](const core::SweepPoint& pt) {
+        core::Scenario sc = core::fig2_one_way(
+            3, 1.0, static_cast<std::size_t>(pt.value("buffer")));
+        // Longer cycles at large buffers need a longer run to see many
+        // epochs.
+        sc.duration = sim::Time::seconds(1200.0);
+        return core::summary_row(pt, core::run_scenario(sc));
+      });
+
   util::Table t({"buffer (pkts)", "utilization", "idle fraction",
                  "epoch interval"});
   std::vector<double> idle;
-  for (std::size_t buffer : {10u, 20u, 40u, 80u}) {
-    core::Scenario sc = core::fig2_one_way(3, 1.0, buffer);
-    // Longer cycles at large buffers need a longer run to see many epochs.
-    sc.duration = sim::Time::seconds(1200.0);
-    core::ScenarioSummary s = core::run_scenario(sc);
-    idle.push_back(1.0 - s.util_fwd);
-    t.add_row({std::to_string(buffer), util::fmt_pct(s.util_fwd),
-               util::fmt_pct(1.0 - s.util_fwd),
-               util::fmt(s.epochs.mean_interval, 1) + "s"});
+  for (const core::SweepRow& row : result.rows()) {
+    const double util = row.number("util_fwd");
+    idle.push_back(1.0 - util);
+    t.add_row({util::fmt(row.number("buffer"), 0), util::fmt_pct(util),
+               util::fmt_pct(1.0 - util),
+               util::fmt(row.number("epoch_interval"), 1) + "s"});
   }
   std::cout << "§3.1 one-way: idle time vs buffer size (paper: idle -> 0, "
                "roughly as B^-2)\n";

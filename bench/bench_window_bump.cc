@@ -16,11 +16,18 @@
 // this state without startup bursts) to 30/25 on finite buffers sized to
 // the measured Fig. 8 / Fig. 9 maxima, then both windows are bumped by one
 // at a known instant and the drops of the following cycle are counted.
+//
+// The two regimes are independent simulations, so they run as a two-point
+// core::SweepRunner grid (one per worker thread); the point function here is
+// custom — not a Scenario — which is exactly what the generic SweepFn hook
+// is for.
 #include <iostream>
 
 #include "core/dumbbell.h"
 #include "core/experiment.h"
+#include "core/sweep.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace tcpdyn;
 
@@ -140,10 +147,44 @@ CounterfactualOutcome run_counterfactual() {
 int main() {
   int failures = 0;
 
-  // Case 1: Fig. 8 regime (tau = 0.01 s), buffers at the Fig. 8 maxima.
-  const BumpOutcome a = run_bump(0.01, 55);
-  // Case 2: Fig. 9 regime (tau = 1 s), counterfactual on infinite buffers.
-  const CounterfactualOutcome b = run_counterfactual();
+  // Case 0: Fig. 8 regime (tau = 0.01 s), buffers at the Fig. 8 maxima.
+  // Case 1: Fig. 9 regime (tau = 1 s), counterfactual on infinite buffers.
+  core::SweepGrid grid({{"case", {0, 1}}});
+  core::SweepRunner runner(grid,
+                           {.jobs = util::ThreadPool::default_jobs(),
+                            .seed = 1,
+                            .progress = false});
+  const core::SweepTable result =
+      runner.run([](const core::SweepPoint& pt) {
+        core::SweepRow row;
+        if (pt.value("case") == 0) {
+          const BumpOutcome o = run_bump(0.01, 55);
+          row.add("losses_conn0", static_cast<std::int64_t>(o.losses_conn0));
+          row.add("losses_conn1", static_cast<std::int64_t>(o.losses_conn1));
+          row.add("ack_drops", static_cast<std::int64_t>(o.ack_drops));
+          row.add("drops_before_bump",
+                  static_cast<std::int64_t>(o.drops_before_bump));
+        } else {
+          const CounterfactualOutcome o = run_counterfactual();
+          row.add("q1_before", o.q1_before);
+          row.add("q2_before", o.q2_before);
+          row.add("q1_after", o.q1_after);
+          row.add("q2_after", o.q2_after);
+        }
+        return row;
+      });
+
+  BumpOutcome a;
+  a.losses_conn0 = static_cast<int>(result.rows()[0].number("losses_conn0"));
+  a.losses_conn1 = static_cast<int>(result.rows()[0].number("losses_conn1"));
+  a.ack_drops = static_cast<int>(result.rows()[0].number("ack_drops"));
+  a.drops_before_bump =
+      static_cast<int>(result.rows()[0].number("drops_before_bump"));
+  CounterfactualOutcome b;
+  b.q1_before = result.rows()[1].number("q1_before");
+  b.q2_before = result.rows()[1].number("q2_before");
+  b.q1_after = result.rows()[1].number("q1_after");
+  b.q2_after = result.rows()[1].number("q2_after");
 
   util::Table t({"configuration", "observed", "paper prediction"});
   t.add_row({"tau=0.01s, B=55 (Fig. 8 maxima)",

@@ -47,13 +47,31 @@ std::string Flags::get(const std::string& name,
 
 double Flags::get_double(const std::string& name, double fallback) const {
   auto it = values_.find(name);
-  return it == values_.end() ? fallback : std::stod(it->second);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name +
+                                " is not a number: " + it->second);
+  }
 }
 
 std::int64_t Flags::get_int(const std::string& name,
                             std::int64_t fallback) const {
   auto it = values_.find(name);
-  return it == values_.end() ? fallback : std::stoll(it->second);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name +
+                                " is not an integer: " + it->second);
+  }
 }
 
 bool Flags::get_bool(const std::string& name, bool fallback) const {

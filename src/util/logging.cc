@@ -1,11 +1,12 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace tcpdyn::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,11 +20,15 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 void log_line(LogLevel level, const std::string& message) {
-  if (level < g_level) return;
+  if (level < log_level()) return;
+  // One fprintf call per line: POSIX locks the stream per call, so lines
+  // from concurrent sweep workers interleave but never tear.
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }
 

@@ -1,6 +1,8 @@
 // Lightweight leveled logging. Default level is kWarn so simulations are
 // silent in tests/benches; examples turn on kInfo/kDebug to narrate packet
-// events. Not thread-safe by design: the simulator is single-threaded.
+// events. Each simulator is single-threaded, but sweep workers log progress
+// concurrently: the level is atomic and each message is emitted with one
+// stdio call, so concurrent lines interleave without tearing.
 #pragma once
 
 #include <sstream>

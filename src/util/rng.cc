@@ -27,4 +27,12 @@ std::uint64_t Rng::next_below(std::uint64_t n) {
   }
 }
 
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t index) {
+  // Two rounds of the SplitMix64 output function over (seed, index) so that
+  // adjacent indices land in statistically unrelated streams.
+  Rng outer(seed);
+  Rng inner(outer.next_u64() ^ (index + 0x9e3779b97f4a7c15ULL));
+  return inner.next_u64();
+}
+
 }  // namespace tcpdyn::util

@@ -30,4 +30,10 @@ class Rng {
   std::uint64_t state_;
 };
 
+// Derives an independent stream seed from a master seed and a stream index
+// (SplitMix64 mixing). Used by the sweep engine to give every grid point its
+// own deterministic RNG stream: the per-point seed depends only on
+// (sweep seed, point index), never on scheduling or worker count.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t index);
+
 }  // namespace tcpdyn::util

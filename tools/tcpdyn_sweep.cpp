@@ -1,0 +1,205 @@
+// tcpdyn_sweep — run a grid of scenarios in parallel and emit one result row
+// per point as JSON and/or CSV.
+//
+//   tcpdyn_sweep --scenario fig4 --grid "tau=0.01:1:log10,buffer=10:80:10" \
+//                --jobs 8 --out sweep.json
+//   tcpdyn_sweep --scenario fig2 --grid "buffer=10;20;40;80" --csv sweep.csv
+//   tcpdyn_sweep --scenario fixed --grid "w1=20:40:5,w2=15:35:5" --jobs 0
+//
+// Grid axes (comma-separated): name=v | name=v1;v2;v3 | name=lo:hi:step
+// (linear, inclusive) | name=lo:hi:logN (N log-spaced points). Axis names
+// override the matching scenario parameter; parameters that are not axes
+// come from the flag of the same name or the scenario default.
+//
+// Flags (defaults in brackets):
+//   --scenario  fig2|fig3|fig4|fig6|fixed|reno|paced|random-drop|
+//               delayed-ack|rtt|chain [fig4]
+//   --grid      axis spec, required
+//   --jobs      worker threads [0 = all hardware threads]
+//   --seed      sweep seed; every point gets seed hash(seed, index) [1]
+//   --out       write JSON here ['-' or unset = stdout]
+//   --csv       also write CSV here
+//   --warmup    override scenario warmup, seconds
+//   --duration  override measured seconds
+//   --tau/--buffer/--conns/--w1/--w2/--spread/--maxwnd   fixed (non-axis)
+//               scenario parameters
+//   --progress  log per-point progress and ETA to stderr
+//   --quiet     suppress the human-readable summary table on stdout
+//
+// Determinism: output depends only on (scenario, grid, seed) — never on
+// --jobs. CI diffs --jobs 1 against --jobs 4 byte-for-byte on every push.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/report.h"
+#include "core/scenarios.h"
+#include "core/sweep.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+using namespace tcpdyn;
+
+namespace {
+
+int usage(const std::string& msg) {
+  std::cerr << "tcpdyn_sweep: " << msg
+            << "\nsee the header of tools/tcpdyn_sweep.cpp for flags\n";
+  return 2;
+}
+
+// Axis value if the point sweeps this parameter, else the flag, else the
+// scenario default.
+double param(const core::SweepPoint& pt, const util::Flags& flags,
+             const std::string& name, double fallback) {
+  return pt.value_or(name, flags.get_double(name, fallback));
+}
+
+core::Scenario build_scenario(const std::string& which,
+                              const core::SweepPoint& pt,
+                              const util::Flags& flags) {
+  const auto as_size = [](double v) { return static_cast<std::size_t>(v); };
+  const auto as_u32 = [](double v) { return static_cast<std::uint32_t>(v); };
+  if (which == "fig2" || which == "oneway") {
+    return core::fig2_one_way(as_size(param(pt, flags, "conns", 3)),
+                              param(pt, flags, "tau", 1.0),
+                              as_size(param(pt, flags, "buffer", 20)));
+  }
+  if (which == "fig3") {
+    return core::fig3_ten_connections(
+        as_size(param(pt, flags, "buffer", 30)),
+        as_size(param(pt, flags, "conns", 10)) / 2);
+  }
+  if (which == "fig4" || which == "twoway") {
+    return core::fig4_twoway(param(pt, flags, "tau", 0.01),
+                             as_size(param(pt, flags, "buffer", 20)));
+  }
+  if (which == "fig6") {
+    return core::fig6_twoway(param(pt, flags, "tau", 1.0),
+                             as_size(param(pt, flags, "buffer", 20)));
+  }
+  if (which == "fixed" || which == "fig8" || which == "fig9") {
+    return core::fig8_fixed_window(
+        param(pt, flags, "tau", which == "fig9" ? 1.0 : 0.01),
+        as_u32(param(pt, flags, "w1", 30)),
+        as_u32(param(pt, flags, "w2", 25)));
+  }
+  if (which == "reno") {
+    return core::reno_twoway(param(pt, flags, "tau", 0.01),
+                             as_size(param(pt, flags, "buffer", 20)));
+  }
+  if (which == "paced") {
+    return core::paced_twoway(param(pt, flags, "tau", 0.01),
+                              as_size(param(pt, flags, "buffer", 20)));
+  }
+  if (which == "random-drop") {
+    return core::random_drop_twoway(param(pt, flags, "tau", 0.01),
+                                    as_size(param(pt, flags, "buffer", 20)));
+  }
+  if (which == "delayed-ack") {
+    return core::delayed_ack_twoway(as_u32(param(pt, flags, "maxwnd", 64)),
+                                    param(pt, flags, "tau", 0.01),
+                                    as_size(param(pt, flags, "buffer", 20)));
+  }
+  if (which == "rtt") {
+    return core::rtt_heterogeneity(as_size(param(pt, flags, "conns", 4)),
+                                   param(pt, flags, "spread", 0.0),
+                                   param(pt, flags, "tau", 0.01),
+                                   as_size(param(pt, flags, "buffer", 20)));
+  }
+  if (which == "chain") {
+    // The chain scenario's connection layout is random: use the per-point
+    // seed so replicas ("rep=0;1;2;..." axis) draw independent topologies.
+    return core::four_switch_chain(as_size(param(pt, flags, "conns", 50)),
+                                   pt.seed);
+  }
+  throw std::invalid_argument("unknown scenario '" + which + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  if (!flags.has("grid")) {
+    return usage("--grid is required");
+  }
+  const std::string which = flags.get("scenario", "fig4");
+
+  core::SweepGrid grid;
+  try {
+    grid = core::SweepGrid(core::parse_grid(flags.get("grid")));
+  } catch (const std::exception& e) {
+    return usage(e.what());
+  }
+
+  core::SweepOptions opts;
+  try {
+    opts.jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
+    opts.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    opts.progress = flags.get_bool("progress", false);
+  } catch (const std::exception& e) {
+    return usage(e.what());
+  }
+  if (opts.progress) {
+    util::set_log_level(util::LogLevel::kInfo);
+  }
+
+  core::SweepRunner runner(std::move(grid), opts);
+  core::SweepTable table;
+  try {
+    table = runner.run([&](const core::SweepPoint& pt) {
+      core::Scenario sc = build_scenario(which, pt, flags);
+      if (flags.has("warmup")) {
+        sc.warmup = sim::Time::seconds(flags.get_double("warmup", 100.0));
+      }
+      if (flags.has("duration")) {
+        sc.duration = sim::Time::seconds(flags.get_double("duration", 400.0));
+      }
+      core::ScenarioSummary s = core::run_scenario(sc);
+      return core::summary_row(pt, s);
+    });
+  } catch (const std::exception& e) {
+    std::cerr << "tcpdyn_sweep: " << e.what() << '\n';
+    return 1;
+  }
+
+  const std::string out = flags.get("out", "-");
+  if (out == "-") {
+    table.write_json(std::cout);
+  } else {
+    std::ofstream os(out, std::ios::binary);
+    if (!os) return usage("cannot open --out file '" + out + "'");
+    table.write_json(os);
+  }
+  if (flags.has("csv")) {
+    std::ofstream os(flags.get("csv"), std::ios::binary);
+    if (!os) return usage("cannot open --csv file");
+    table.write_csv(os);
+  }
+
+  if (!flags.get_bool("quiet", false) && out != "-") {
+    std::vector<std::string> header;
+    for (const auto& axis : runner.grid().axes()) header.push_back(axis.name);
+    header.insert(header.end(), {"util_fwd", "util_rev", "sync (cwnd)",
+                                 "drops/epoch"});
+    util::Table t(header);
+    for (const auto& row : table.rows()) {
+      std::vector<std::string> cells;
+      for (const auto& axis : runner.grid().axes()) {
+        cells.push_back(util::fmt(row.number(axis.name), 3));
+      }
+      cells.push_back(util::fmt_pct(row.number("util_fwd")));
+      cells.push_back(util::fmt_pct(row.number("util_rev")));
+      cells.push_back(row.text("cwnd_sync_mode") + " (rho=" +
+                      util::fmt(row.number("cwnd_sync_rho")) + ")");
+      cells.push_back(util::fmt(row.number("drops_per_epoch"), 1));
+      t.add_row(cells);
+    }
+    std::cout << "sweep: scenario=" << which << ", " << table.rows().size()
+              << " points\n";
+    t.print(std::cout);
+  }
+  return 0;
+}
