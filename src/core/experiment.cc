@@ -52,6 +52,7 @@ void Experiment::monitor(net::NodeId from, net::NodeId to) {
   if (port == nullptr) {
     throw std::logic_error("monitor: no link between the given nodes");
   }
+  port->enable_busy_record();  // needed for the utilization report
   auto mp = std::make_unique<MonitoredPort>();
   mp->port = port;
   mp->queue.record(0.0, 0.0);

@@ -360,21 +360,49 @@ SweepTable SweepRunner::run(const SweepFn& fn) const {
               std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                             started)
                   .count();
-          const double eta =
-              elapsed / static_cast<double>(finished) *
-              static_cast<double>(n - finished);
           char buf[128];
-          std::snprintf(buf, sizeof(buf),
-                        "sweep: %zu/%zu points (%.0f%%), elapsed %.1fs, "
-                        "eta %.1fs",
-                        finished, n, 100.0 * static_cast<double>(finished) /
-                                         static_cast<double>(n),
-                        elapsed, eta);
+          // ETA extrapolates from completed points; with none completed or
+          // no measurable elapsed time (sub-tick first point) there is
+          // nothing to extrapolate from — print a placeholder instead of
+          // the inf/nan a raw division would produce.
+          if (finished > 0 && elapsed > 0.0) {
+            const double eta = elapsed / static_cast<double>(finished) *
+                               static_cast<double>(n - finished);
+            std::snprintf(buf, sizeof(buf),
+                          "sweep: %zu/%zu points (%.0f%%), elapsed %.1fs, "
+                          "eta %.1fs",
+                          finished, n,
+                          100.0 * static_cast<double>(finished) /
+                              static_cast<double>(n),
+                          elapsed, eta);
+          } else {
+            std::snprintf(buf, sizeof(buf),
+                          "sweep: %zu/%zu points (%.0f%%), elapsed %.1fs, "
+                          "eta --",
+                          finished, n,
+                          100.0 * static_cast<double>(finished) /
+                              static_cast<double>(n),
+                          elapsed);
+          }
           util::log_line(util::LogLevel::kInfo, buf);
         }
       }));
     }
   }  // pool destructor drains the queue and joins the workers
+
+  // Final summary. Emitted after the pool has joined, so it cannot
+  // interleave with worker progress lines, and as a single log_line call,
+  // so concurrent stderr writers elsewhere cannot tear it.
+  if (options_.progress) {
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - started)
+                               .count();
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "sweep: done, %zu points in %.1fs (%.2fs/point)", n, elapsed,
+                  n > 0 ? elapsed / static_cast<double>(n) : 0.0);
+    util::log_line(util::LogLevel::kInfo, buf);
+  }
 
   // All points ran; surface the first failure (by point index) if any.
   std::exception_ptr first_error;

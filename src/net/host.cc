@@ -14,7 +14,7 @@ void Host::send(Packet pkt) {
 }
 
 void Host::receive(Packet pkt) {
-  sim_.schedule(processing_delay_, [this, p = std::move(pkt)]() {
+  auto process = [this, p = std::move(pkt)]() {
     auto it = endpoints_.find(key(p.conn, p.kind));
     if (it == endpoints_.end()) {
       throw std::logic_error(name() + ": no endpoint for conn " +
@@ -22,7 +22,10 @@ void Host::receive(Packet pkt) {
     }
     if (on_deliver) on_deliver(sim_.now(), p);
     it->second->deliver(p);
-  });
+  };
+  static_assert(sim::Scheduler::Action::fits<decltype(process)>,
+                "host-processing event (pointer + Packet) must stay inline");
+  sim_.schedule(processing_delay_, std::move(process));
 }
 
 }  // namespace tcpdyn::net

@@ -5,6 +5,7 @@
 // exactly one sequence number. ACKs are cumulative ("next expected seq").
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 
 #include "sim/time.h"
@@ -17,6 +18,29 @@ using ConnId = std::uint32_t;
 inline constexpr NodeId kInvalidNode = UINT32_MAX;
 
 enum class PacketKind : std::uint8_t { kData, kAck };
+
+// Packet-uid packing. Each transport endpoint mints uids from its own
+// counter; global uniqueness comes from partitioning the 64-bit space:
+//
+//   bits 63..40  connection id        (24 bits)
+//   bit  39      kind flag            (0 = data endpoint, 1 = ACK endpoint)
+//   bits 38..0   per-endpoint counter (39 bits, ~5.5e11 packets)
+//
+// Exceeding any field silently aliases another packet's uid, so the bounds
+// are asserted in debug builds (a simulation long enough to overflow 39 bits
+// of counter is ~1,700 simulated years at the paper's packet rates).
+inline constexpr int kUidConnShift = 40;
+inline constexpr std::uint64_t kUidAckFlag = std::uint64_t{1} << 39;
+inline constexpr std::uint64_t kUidCounterMask = kUidAckFlag - 1;
+
+inline std::uint64_t make_packet_uid(ConnId conn, PacketKind kind,
+                                     std::uint64_t counter) {
+  assert(conn < (ConnId{1} << 24) && "conn id overflows the 24-bit uid field");
+  assert(counter <= kUidCounterMask &&
+         "per-endpoint packet counter overflows the 39-bit uid field");
+  return (static_cast<std::uint64_t>(conn) << kUidConnShift) |
+         (kind == PacketKind::kAck ? kUidAckFlag : 0) | counter;
+}
 
 struct Packet {
   std::uint64_t uid = 0;        // globally unique, assigned at creation

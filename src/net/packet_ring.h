@@ -1,0 +1,97 @@
+// PacketRing: a growable circular buffer of Packets backing the per-port
+// queues. push_back/pop_front are O(1) with no per-element allocation —
+// capacity grows by doubling and is then retained, so a queue that has
+// reached its working size never touches the heap again (the deque it
+// replaces allocated and freed chunks continuously). erase(i) supports the
+// random-drop discipline's victim removal by shifting from whichever end is
+// closer (queues are tens of packets, so this is a handful of 56-byte
+// copies).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace tcpdyn::net {
+
+static_assert(std::is_trivially_copyable_v<Packet>,
+              "PacketRing relies on cheap Packet copies");
+
+class PacketRing {
+ public:
+  // `initial_capacity` is rounded up to a power of two (index masking).
+  explicit PacketRing(std::size_t initial_capacity = 32) {
+    std::size_t cap = 1;
+    while (cap < initial_capacity) cap *= 2;
+    buf_.resize(cap);
+  }
+
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+  std::size_t capacity() const { return buf_.size(); }
+
+  const Packet& front() const {
+    assert(count_ > 0);
+    return buf_[head_];
+  }
+
+  // i-th element from the front, 0 <= i < size().
+  Packet& operator[](std::size_t i) {
+    assert(i < count_);
+    return buf_[mask(head_ + i)];
+  }
+  const Packet& operator[](std::size_t i) const {
+    assert(i < count_);
+    return buf_[mask(head_ + i)];
+  }
+
+  void push_back(const Packet& pkt) {
+    if (count_ == buf_.size()) grow();
+    buf_[mask(head_ + count_)] = pkt;
+    ++count_;
+  }
+
+  Packet pop_front() {
+    assert(count_ > 0);
+    Packet pkt = buf_[head_];
+    head_ = mask(head_ + 1);
+    --count_;
+    return pkt;
+  }
+
+  // Removes the i-th element from the front, preserving the order of the
+  // rest. Shifts the shorter side toward the gap.
+  Packet erase(std::size_t i) {
+    assert(i < count_);
+    Packet victim = (*this)[i];
+    if (i < count_ - i - 1) {
+      // Closer to the head: shift [0, i) back by one, advance head.
+      for (std::size_t k = i; k > 0; --k) (*this)[k] = (*this)[k - 1];
+      head_ = mask(head_ + 1);
+    } else {
+      // Closer to the tail: shift (i, count) forward by one.
+      for (std::size_t k = i; k + 1 < count_; ++k) (*this)[k] = (*this)[k + 1];
+    }
+    --count_;
+    return victim;
+  }
+
+ private:
+  std::size_t mask(std::size_t i) const { return i & (buf_.size() - 1); }
+
+  void grow() {
+    std::vector<Packet> bigger(buf_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i) bigger[i] = (*this)[i];
+    buf_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<Packet> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace tcpdyn::net

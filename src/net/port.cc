@@ -36,36 +36,44 @@ void OutputPort::start_transmission() {
   transmitting_ = true;
   const Packet& head = queue_.front();
   const sim::Time now = sim_.now();
-  // Extend the previous busy interval when transmission is back-to-back,
-  // otherwise open a new one.
-  if (!busy_.empty() && busy_.back().end == now) {
-    busy_.back().end = sim::Time::max();
-  } else {
-    busy_.push_back({now, sim::Time::max()});
+  if (record_busy_) {
+    // Extend the previous busy interval when transmission is back-to-back,
+    // otherwise open a new one.
+    if (!busy_.empty() && busy_.back().end == now) {
+      busy_.back().end = sim::Time::max();
+    } else {
+      busy_.push_back({now, sim::Time::max()});
+    }
   }
   if (on_depart) on_depart(now, head);
-  sim_.schedule(transmission_time(head), [this] { finish_transmission(); });
+  auto finish = [this] { finish_transmission(); };
+  static_assert(sim::Scheduler::Action::fits<decltype(finish)>,
+                "transmission-complete event must not heap-allocate");
+  sim_.schedule(transmission_time(head), std::move(finish));
 }
 
 void OutputPort::finish_transmission() {
   assert(transmitting_);
   transmitting_ = false;
-  busy_.back().end = sim_.now();
+  if (record_busy_) busy_.back().end = sim_.now();
   std::optional<Packet> pkt = queue_.pop();
   assert(pkt.has_value());
   if (on_queue_change) on_queue_change(sim_.now(), queue_.length());
   if (peer_ != nullptr) {
     // Propagation: error-free delivery after the fixed delay. Capture the
     // packet by value; the port does not track in-flight packets.
-    sim_.schedule(propagation_delay_,
-                  [peer = peer_, p = std::move(*pkt)]() mutable {
-                    peer->receive(std::move(p));
-                  });
+    auto deliver = [peer = peer_, p = std::move(*pkt)]() mutable {
+      peer->receive(std::move(p));
+    };
+    static_assert(sim::Scheduler::Action::fits<decltype(deliver)>,
+                  "propagation event (pointer + Packet) must stay inline");
+    sim_.schedule(propagation_delay_, std::move(deliver));
   }
   if (!queue_.empty()) start_transmission();
 }
 
 sim::Time OutputPort::busy_in(sim::Time from, sim::Time to) const {
+  assert(record_busy_ && "call enable_busy_record() before traffic flows");
   sim::Time total = sim::Time::zero();
   for (const auto& iv : busy_) {
     const sim::Time start = std::max(iv.start, from);

@@ -2,8 +2,10 @@
 // store-and-forward serialization at `bits_per_second` followed by a fixed
 // propagation delay to the peer node. Error-free transmission (paper §2.2).
 //
-// Observability: the port exposes counters, a busy-interval record for exact
-// utilization computation, and optional hooks fired on queue-length change,
+// Observability: the port exposes counters, an opt-in busy-interval record
+// for exact utilization computation (enable_busy_record(); monitored ports
+// turn it on, unmonitored ports stay allocation-free and bounded-memory over
+// arbitrarily long runs), and optional hooks fired on queue-length change,
 // packet departure (start of transmission, which fixes the departure order
 // used by the clustering analysis), and drop.
 #pragma once
@@ -50,7 +52,14 @@ class OutputPort {
     return sim::Time::transmission(pkt.size_bytes, bits_per_second_);
   }
 
-  // Total time the transmitter was busy within [from, to].
+  // Starts recording busy intervals (required before querying busy_in /
+  // utilization). Experiment::monitor enables this on monitored ports;
+  // unmonitored ports skip the recording entirely.
+  void enable_busy_record() { record_busy_ = true; }
+  bool busy_record_enabled() const { return record_busy_; }
+
+  // Total time the transmitter was busy within [from, to]. Requires
+  // enable_busy_record() to have been called before traffic flowed.
   sim::Time busy_in(sim::Time from, sim::Time to) const;
 
   // Busy fraction of [from, to]; 0 for an empty window.
@@ -72,6 +81,7 @@ class OutputPort {
   DropTailQueue queue_;
   Node* peer_ = nullptr;
   bool transmitting_ = false;
+  bool record_busy_ = false;
   std::vector<BusyInterval> busy_;  // merged, ordered; open last interval while transmitting
 };
 

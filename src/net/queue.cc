@@ -40,23 +40,21 @@ EnqueueResult DropTailQueue::offer(Packet pkt, bool protect_front) {
       result.dropped = std::move(pkt);
       return result;
     }
-    Packet victim = std::move(packets_[pick]);
+    Packet victim = packets_.erase(pick);
     bytes_ -= victim.size_bytes;
-    packets_.erase(packets_.begin() + static_cast<std::ptrdiff_t>(pick));
     count_drop(victim);
     result.dropped = std::move(victim);
     // Fall through: the arrival is admitted into the freed slot.
   }
   bytes_ += pkt.size_bytes;
-  packets_.push_back(std::move(pkt));
+  packets_.push_back(pkt);
   counters_.max_length = std::max(counters_.max_length, packets_.size());
   return result;
 }
 
 std::optional<Packet> DropTailQueue::pop() {
   if (packets_.empty()) return std::nullopt;
-  Packet pkt = std::move(packets_.front());
-  packets_.pop_front();
+  Packet pkt = packets_.pop_front();
   bytes_ -= pkt.size_bytes;
   return pkt;
 }

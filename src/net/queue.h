@@ -9,11 +9,11 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
 #include <limits>
 #include <optional>
 
 #include "net/packet.h"
+#include "net/packet_ring.h"
 #include "util/rng.h"
 
 namespace tcpdyn::net {
@@ -56,7 +56,12 @@ class DropTailQueue {
   explicit DropTailQueue(QueueLimit limit,
                          DropPolicy policy = DropPolicy::kDropTail,
                          std::uint64_t seed = 1)
-      : limit_(limit), policy_(policy), rng_(seed) {}
+      : limit_(limit),
+        policy_(policy),
+        rng_(seed),
+        // Bounded queues never exceed their limit, so sizing the ring up
+        // front makes every subsequent operation allocation-free.
+        packets_(limit.is_infinite() ? 32 : *limit.packets) {}
 
   // Attempts to enqueue; returns false (and records the drop) when the
   // arriving packet is discarded. Drop-tail shorthand for offer().
@@ -85,7 +90,7 @@ class DropTailQueue {
   QueueLimit limit_;
   DropPolicy policy_;
   util::Rng rng_;
-  std::deque<Packet> packets_;
+  PacketRing packets_;  // ring buffer: allocation-free once at working size
   std::size_t bytes_ = 0;
   QueueCounters counters_;
 };

@@ -1,57 +1,124 @@
 #include "sim/scheduler.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace tcpdyn::sim {
 
 void EventHandle::cancel() {
-  if (cancelled_) *cancelled_ = true;
+  if (scheduler_ != nullptr) scheduler_->cancel(slot_, generation_);
 }
 
-bool EventHandle::pending() const { return cancelled_ && !*cancelled_; }
+bool EventHandle::pending() const {
+  return scheduler_ != nullptr && scheduler_->is_pending(slot_, generation_);
+}
 
 EventHandle Scheduler::schedule_at(Time at, Action action) {
-  auto cancelled = std::make_shared<bool>(false);
-  heap_.push(Entry{at, next_seq_++, std::move(action), cancelled});
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.action = std::move(action);
+  heap_push(Entry{at, next_seq_++, slot, s.generation});
   ++live_events_;
-  return EventHandle(std::move(cancelled));
+  return EventHandle(this, slot, s.generation);
 }
 
-void Scheduler::drop_cancelled_front() {
-  while (!heap_.empty() && *heap_.top().cancelled) {
-    heap_.pop();
-    --live_events_;
-  }
-}
-
-bool Scheduler::empty() const {
-  // live_events_ counts non-popped entries including cancelled ones; we must
-  // look through the heap for a live entry. Cheap amortized: cancelled
-  // entries are dropped as they reach the front.
-  auto* self = const_cast<Scheduler*>(this);
-  self->drop_cancelled_front();
-  return heap_.empty();
+void Scheduler::cancel(std::uint32_t slot, std::uint32_t generation) {
+  if (!is_pending(slot, generation)) return;  // already fired or cancelled
+  release_slot(slot);
+  --live_events_;
+  // The heap entry stays behind as a tombstone (its generation no longer
+  // matches) and is dropped when it surfaces, or by compaction.
+  maybe_compact();
 }
 
 Time Scheduler::next_time() {
-  drop_cancelled_front();
-  return heap_.empty() ? Time::max() : heap_.top().at;
+  drop_dead_front();
+  return heap_.empty() ? Time::max() : heap_.front().at;
 }
 
 Time Scheduler::run_next() {
-  drop_cancelled_front();
+  drop_dead_front();
   assert(!heap_.empty());
-  // Move the action out before popping: the action may schedule new events.
-  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
+  const Entry entry = heap_.front();
+  heap_pop_front();
+  // Move the action out and retire the slot before running: the action may
+  // re-arm its own handle (pending() must already read false) and may
+  // schedule new events into the just-freed slot.
+  Action action = std::move(slots_[entry.slot].action);
+  release_slot(entry.slot);
   --live_events_;
-  // Mark the event as no longer pending before running it, so that handles
-  // report pending() == false from inside (and after) the action — a fired
-  // one-shot timer must be re-armable.
-  *entry.cancelled = true;
-  entry.action();
+  action();
   return entry.at;
+}
+
+std::uint32_t Scheduler::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNilSlot;
+    return slot;
+  }
+  assert(slots_.size() < kNilSlot);
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Scheduler::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  ++s.generation;  // invalidates handles and the heap entry
+  s.action.reset();
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void Scheduler::heap_push(Entry entry) {
+  heap_.push_back(entry);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void Scheduler::heap_pop_front() {
+  assert(!heap_.empty());
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= n) break;
+    const std::size_t right = left + 1;
+    std::size_t smallest = left;
+    if (right < n && before(heap_[right], heap_[left])) smallest = right;
+    if (!before(heap_[smallest], heap_[i])) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+void Scheduler::drop_dead_front() {
+  while (!heap_.empty() &&
+         slots_[heap_.front().slot].generation != heap_.front().generation) {
+    heap_pop_front();
+  }
+}
+
+void Scheduler::maybe_compact() {
+  // Tombstones normally surface and are dropped as the clock reaches them;
+  // compaction only matters for workloads that cancel far-future events en
+  // masse (e.g. tearing down many connections' retransmit timers).
+  if (heap_.size() < 64 || heap_.size() < 2 * live_events_) return;
+  const auto dead = [this](const Entry& e) {
+    return slots_[e.slot].generation != e.generation;
+  };
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(), dead), heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(),
+                 [](const Entry& a, const Entry& b) { return before(b, a); });
 }
 
 }  // namespace tcpdyn::sim

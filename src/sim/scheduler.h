@@ -1,22 +1,36 @@
-// Event scheduler: a binary min-heap of (time, insertion-sequence, action).
-// The sequence number makes simultaneous events fire in insertion order,
-// which keeps runs deterministic and matches the FIFO intuition of the
-// network model (e.g. a dequeue scheduled before an enqueue at the same
-// instant executes first).
+// Event scheduler: a binary min-heap of (time, insertion-sequence) keys over
+// a slab of generation-counted event slots. The sequence number makes
+// simultaneous events fire in insertion order, which keeps runs
+// deterministic and matches the FIFO intuition of the network model (e.g. a
+// dequeue scheduled before an enqueue at the same instant executes first).
+//
+// Steady-state operation is allocation-free: actions are stored in a
+// small-buffer callable inside slab slots that are recycled through a free
+// list, heap entries are 24-byte PODs, and cancellation is an O(1)
+// generation bump — no per-event shared_ptr, no std::function heap traffic.
+// Cancelled events leave a tombstone in the heap that is dropped lazily when
+// it surfaces, with a compaction sweep bounding tombstone build-up under
+// cancel-heavy workloads.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "sim/time.h"
+#include "util/inline_function.h"
 
 namespace tcpdyn::sim {
 
+class Scheduler;
+
+// Largest capture (a Packet plus a pointer) that the network and transport
+// layers schedule; sized so every hot-path lambda stays inline. Call sites
+// whose captures must not spill enforce it via Scheduler::Action::fits.
+inline constexpr std::size_t kActionInlineCapacity = 72;
+
 // Handle to a scheduled event; allows cancellation. Default-constructed
-// handles are inert. Handles are cheap to copy (shared flag).
+// handles are inert. Handles are cheap to copy ({slot, generation} pair) and
+// must not outlive the scheduler that issued them.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -30,20 +44,26 @@ class EventHandle {
 
  private:
   friend class Scheduler;
-  explicit EventHandle(std::shared_ptr<bool> cancelled)
-      : cancelled_(std::move(cancelled)) {}
-  std::shared_ptr<bool> cancelled_;  // null => inert or already fired
+  EventHandle(Scheduler* scheduler, std::uint32_t slot,
+              std::uint32_t generation)
+      : scheduler_(scheduler), slot_(slot), generation_(generation) {}
+
+  Scheduler* scheduler_ = nullptr;  // null => inert
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 class Scheduler {
  public:
-  using Action = std::function<void()>;
+  using Action = util::InlineAction<kActionInlineCapacity>;
 
   // Enqueues `action` to run at absolute time `at`. `at` must be >= the time
   // of the last event popped.
   EventHandle schedule_at(Time at, Action action);
 
-  bool empty() const;
+  // True when no live (non-cancelled, non-fired) events remain. O(1) and
+  // genuinely const: the live count is maintained at cancel/fire time.
+  bool empty() const { return live_events_ == 0; }
   std::size_t size() const { return live_events_; }
 
   // Time of the earliest pending (non-cancelled) event; Time::max() if none.
@@ -54,20 +74,53 @@ class Scheduler {
   Time run_next();
 
  private:
+  friend class EventHandle;
+
+  static constexpr std::uint32_t kNilSlot = UINT32_MAX;
+
+  // One slab slot. `generation` advances every time the slot's event is
+  // cancelled or fired, invalidating outstanding handles and heap entries
+  // that still reference the old incarnation.
+  struct Slot {
+    Action action;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNilSlot;
+  };
+
+  // Heap key: POD, ordered by (at, seq) so moves during sift are cheap and
+  // FIFO order among simultaneous events is exact.
   struct Entry {
     Time at;
     std::uint64_t seq;
-    Action action;
-    std::shared_ptr<bool> cancelled;
-    bool operator>(const Entry& o) const {
-      if (at != o.at) return at > o.at;
-      return seq > o.seq;
-    }
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
 
-  void drop_cancelled_front();
+  static bool before(const Entry& a, const Entry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  bool is_pending(std::uint32_t slot, std::uint32_t generation) const {
+    return slot < slots_.size() && slots_[slot].generation == generation;
+  }
+  void cancel(std::uint32_t slot, std::uint32_t generation);
+
+  std::uint32_t acquire_slot();
+  // Invalidates handles, releases the action, and recycles the slot.
+  void release_slot(std::uint32_t slot);
+
+  void heap_push(Entry entry);
+  void heap_pop_front();
+  // Drops tombstones (entries whose slot generation moved on) off the top.
+  void drop_dead_front();
+  // Removes all tombstones when they outnumber live entries; O(n), amortized
+  // O(1) per cancel, and order-preserving (the comparator is a total order).
+  void maybe_compact();
+
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNilSlot;
   std::uint64_t next_seq_ = 0;
   std::size_t live_events_ = 0;
 };

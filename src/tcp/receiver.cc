@@ -1,5 +1,8 @@
 #include "tcp/receiver.h"
 
+#include <algorithm>
+#include <cstddef>
+
 namespace tcpdyn::tcp {
 
 Receiver::Receiver(sim::Simulator& sim, net::Host& host, ReceiverParams params)
@@ -12,13 +15,24 @@ void Receiver::deliver(const net::Packet& pkt) {
   if (pkt.seq == next_expected_) {
     ++next_expected_;
     // Absorb any contiguous buffered packets.
-    while (!out_of_order_.empty() &&
-           *out_of_order_.begin() == next_expected_) {
-      out_of_order_.erase(out_of_order_.begin());
+    std::size_t absorbed = 0;
+    while (absorbed < out_of_order_.size() &&
+           out_of_order_[absorbed] == next_expected_) {
+      ++absorbed;
       ++next_expected_;
     }
+    if (absorbed > 0) {
+      out_of_order_.erase(out_of_order_.begin(),
+                          out_of_order_.begin() +
+                              static_cast<std::ptrdiff_t>(absorbed));
+    }
   } else if (pkt.seq > next_expected_) {
-    out_of_order_.insert(pkt.seq);
+    // Sorted insert, skipping duplicates (retransmissions of buffered data).
+    const auto at =
+        std::lower_bound(out_of_order_.begin(), out_of_order_.end(), pkt.seq);
+    if (at == out_of_order_.end() || *at != pkt.seq) {
+      out_of_order_.insert(at, pkt.seq);
+    }
   } else {
     ++duplicates_;  // already delivered; ACK again (sender needs the dup-ACK)
   }
@@ -42,8 +56,8 @@ void Receiver::send_ack() {
   delayed_timer_.cancel();
   unacked_arrivals_ = 0;
   net::Packet ack;
-  ack.uid = (static_cast<std::uint64_t>(params_.conn) << 40) | 0x8000000000ULL |
-            next_uid_++;
+  ack.uid = net::make_packet_uid(params_.conn, net::PacketKind::kAck,
+                                 next_uid_++);
   ack.conn = params_.conn;
   ack.kind = net::PacketKind::kAck;
   ack.ack = next_expected_;

@@ -7,7 +7,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <set>
+#include <vector>
 
 #include "net/host.h"
 #include "net/packet.h"
@@ -47,7 +47,10 @@ class Receiver : public net::PacketSink {
   net::Host& host_;
   ReceiverParams params_;
   std::uint32_t next_expected_ = 0;     // lowest seq not yet received
-  std::set<std::uint32_t> out_of_order_;
+  // Reassembly buffer: sorted, duplicate-free. A vector (not a node-based
+  // set) so steady-state operation is allocation-free — it holds at most a
+  // window's worth of sequence numbers and retains its capacity.
+  std::vector<std::uint32_t> out_of_order_;
   std::uint64_t data_received_ = 0;
   std::uint64_t duplicates_ = 0;
   std::uint64_t acks_sent_ = 0;

@@ -80,7 +80,8 @@ void WindowSender::schedule_paced_send() {
 
 void WindowSender::send_packet(std::uint32_t seq) {
   net::Packet pkt;
-  pkt.uid = (static_cast<std::uint64_t>(params_.conn) << 40) | next_uid_++;
+  pkt.uid = net::make_packet_uid(params_.conn, net::PacketKind::kData,
+                                 next_uid_++);
   pkt.conn = params_.conn;
   pkt.kind = net::PacketKind::kData;
   pkt.seq = seq;

@@ -1,0 +1,111 @@
+// InlineAction: a move-only type-erased `void()` callable with small-buffer
+// storage. Callables whose captures fit in `Capacity` bytes live inline —
+// constructing, moving, and destroying them never touches the heap, which is
+// what keeps the event-scheduler hot path allocation-free (every packet hop
+// schedules a lambda capturing at most a Packet plus a pointer). Larger
+// callables fall back to a heap box so correctness never depends on capture
+// size; use `InlineAction<>::fits<F>` in a static_assert to pin down call
+// sites that must stay inline.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tcpdyn::util {
+
+template <std::size_t Capacity = 72>
+class InlineAction {
+ public:
+  // Whether callable type F is stored inline (no heap allocation).
+  template <typename F>
+  static constexpr bool fits =
+      sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  InlineAction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineAction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineAction(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                         // std::function at every schedule() call site
+    using Fn = std::decay_t<F>;
+    if constexpr (fits<Fn>) {
+      ::new (static_cast<void*>(&storage_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(&storage_))
+          Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &boxed_ops<Fn>;
+    }
+  }
+
+  InlineAction(InlineAction&& other) noexcept { move_from(other); }
+
+  InlineAction& operator=(InlineAction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineAction(const InlineAction&) = delete;
+  InlineAction& operator=(const InlineAction&) = delete;
+
+  ~InlineAction() { reset(); }
+
+  void operator()() { ops_->invoke(&storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-construct into dst from src, then destroy src's value.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops boxed_ops = {
+      [](void* p) { (**static_cast<Fn**>(p))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+      },
+      [](void* p) { delete *static_cast<Fn**>(p); },
+  };
+
+  void move_from(InlineAction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(&storage_, &other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace tcpdyn::util

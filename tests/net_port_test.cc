@@ -34,6 +34,9 @@ class PortTest : public ::testing::Test {
       : sink(sim),
         port(sim, "p", 50'000, sim::Time::seconds(0.01), QueueLimit::of(20)) {
     port.set_peer(&sink);
+    // Busy-interval recording is opt-in (monitored ports only); these tests
+    // assert exact utilization accounting, so turn it on.
+    port.enable_busy_record();
   }
   sim::Simulator sim;
   RecordingSink sink;

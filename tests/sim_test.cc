@@ -2,6 +2,8 @@
 // (ordering, ties, cancellation), and the Simulator facade.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
 #include <vector>
 
 #include "sim/scheduler.h"
@@ -95,6 +97,88 @@ TEST(Scheduler, EmptyAfterAllCancelled) {
   h.cancel();
   EXPECT_TRUE(sched.empty());
   EXPECT_EQ(sched.next_time(), Time::max());
+}
+
+TEST(Scheduler, CancelHeavyLeavesSchedulerEmpty) {
+  // Regression test: empty() must report true purely from bookkeeping after
+  // mass cancellation — without running any event to flush tombstones (the
+  // old implementation const_cast-scrubbed the queue inside empty()).
+  Scheduler sched;
+  std::vector<EventHandle> handles;
+  constexpr int kEvents = 10'000;
+  handles.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    handles.push_back(sched.schedule_at(
+        Time::microseconds((i * 7919) % 100'000), [] { FAIL(); }));
+  }
+  EXPECT_EQ(sched.size(), static_cast<std::size_t>(kEvents));
+  for (EventHandle& h : handles) h.cancel();
+  EXPECT_TRUE(sched.empty());
+  EXPECT_EQ(sched.size(), 0u);
+  EXPECT_EQ(sched.next_time(), Time::max());
+  for (const EventHandle& h : handles) EXPECT_FALSE(h.pending());
+}
+
+TEST(Scheduler, SlotReuseDoesNotResurrectOldHandles) {
+  // After an event fires or is cancelled its slab slot is recycled; a stale
+  // handle to the old incarnation must stay dead and must not cancel the
+  // new occupant.
+  Scheduler sched;
+  int fired = 0;
+  EventHandle old_handle =
+      sched.schedule_at(Time::seconds(1.0), [&] { ++fired; });
+  old_handle.cancel();
+  // Likely reuses the slot just released.
+  EventHandle fresh = sched.schedule_at(Time::seconds(2.0), [&] { ++fired; });
+  EXPECT_FALSE(old_handle.pending());
+  old_handle.cancel();  // must be a no-op on the recycled slot
+  EXPECT_TRUE(fresh.pending());
+  while (!sched.empty()) sched.run_next();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, OrderSurvivesInterleavedCancellation) {
+  // Cancel more than half the events to force tombstone compaction, then
+  // verify the survivors still run in exact (time, insertion) order.
+  Scheduler sched;
+  std::vector<int> order;
+  std::vector<EventHandle> doomed;
+  for (int i = 0; i < 1'000; ++i) {
+    const Time t = Time::microseconds((i * 31) % 97);  // many ties
+    if (i % 3 == 0) {
+      sched.schedule_at(t, [&order, i] { order.push_back(i); });
+    } else {
+      doomed.push_back(sched.schedule_at(t, [] { FAIL(); }));
+    }
+  }
+  for (EventHandle& h : doomed) h.cancel();
+  std::vector<Time> times;
+  while (!sched.empty()) times.push_back(sched.run_next());
+  ASSERT_EQ(order.size(), 334u);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  // FIFO among equal times: survivors with the same timestamp must appear in
+  // insertion order. Equal times recur every 97 steps of i*31 mod 97.
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if ((order[i] * 31) % 97 == (order[i - 1] * 31) % 97) {
+      EXPECT_LT(order[i - 1], order[i]);
+    }
+  }
+}
+
+TEST(Scheduler, ActionSeesItselfRetired) {
+  // run_next() retires the slot before invoking the action, so a timer
+  // action observes pending() == false and can immediately re-arm through
+  // the same handle variable — the pattern the transport timers rely on.
+  Scheduler sched;
+  EventHandle handle;
+  bool rearmed_fired = false;
+  handle = sched.schedule_at(Time::seconds(1.0), [&] {
+    EXPECT_FALSE(handle.pending());
+    handle = sched.schedule_at(Time::seconds(2.0),
+                               [&] { rearmed_fired = true; });
+  });
+  while (!sched.empty()) sched.run_next();
+  EXPECT_TRUE(rearmed_fired);
 }
 
 TEST(Simulator, ClockAdvancesBeforeDispatch) {

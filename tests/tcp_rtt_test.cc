@@ -86,6 +86,43 @@ TEST(RttEstimator, CustomParams) {
   EXPECT_EQ(e.rto(), Time::milliseconds(200));
 }
 
+TEST(RttEstimator, RoundingAppliesBeforeMinClamp) {
+  // rto() rounds the raw srtt + 4*rttvar up to the granularity FIRST and
+  // clamps to min_rto second; the floor itself is not re-rounded. With
+  // min_rto = 1.2 s and 500 ms ticks: raw 300 ms -> 500 ms -> clamped to
+  // exactly 1.2 s. Clamp-before-round would give 1.5 s instead.
+  RttParams p;
+  p.min_rto = Time::milliseconds(1200);
+  RttEstimator e(p);
+  e.sample(Time::milliseconds(100));  // srtt 100, var 50 -> raw 300 ms
+  EXPECT_EQ(e.rto(), Time::milliseconds(1200));
+}
+
+TEST(RttEstimator, ZeroGranularityDisablesRounding) {
+  RttParams p;
+  p.granularity = Time::zero();
+  RttEstimator e(p);
+  e.sample(Time::milliseconds(1100));  // srtt 1.1 s, var 0.55 s -> raw 3.3 s
+  EXPECT_EQ(e.rto(), Time::milliseconds(3300));
+}
+
+TEST(RttEstimator, BackoffSaturatesAtCustomMax) {
+  // max_rto need not be a power-of-two multiple of the base; saturation
+  // clamps mid-doubling and stays pinned for any further backoff.
+  RttParams p;
+  p.max_rto = Time::seconds(5.0);
+  RttEstimator e(p);
+  for (int i = 0; i < 50; ++i) e.sample(Time::milliseconds(400));
+  EXPECT_EQ(e.rto(), Time::seconds(1.0));
+  e.backoff();
+  e.backoff();
+  EXPECT_EQ(e.rto(), Time::seconds(4.0));
+  e.backoff();  // 8 s raw, clamped
+  EXPECT_EQ(e.rto(), Time::seconds(5.0));
+  for (int i = 0; i < 30; ++i) e.backoff();
+  EXPECT_EQ(e.rto(), Time::seconds(5.0));
+}
+
 // Property: RTO is always within [min_rto, max_rto] after any sample/backoff
 // sequence.
 class RtoBounds : public ::testing::TestWithParam<int> {};

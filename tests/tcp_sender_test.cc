@@ -219,6 +219,27 @@ TEST_F(SenderTest, KarnNoSampleFromRetransmission) {
   EXPECT_FALSE(s.rtt().has_sample());
 }
 
+TEST_F(SenderTest, AckEqualToTimedSeqProducesNoSample) {
+  // Karn edge: an ACK that advances snd_una but only up to the timed
+  // packet's sequence number does NOT cover it (a cumulative ACK of k means
+  // "k not yet received"), so no RTT sample may be taken — the sampling
+  // condition is strictly ack.ack > timed_seq.
+  TahoeSender s(sim_, net_.host(h1_), params());
+  int samples = 0;
+  s.on_rtt_sample = [&](sim::Time, sim::Time) { ++samples; };
+  attach(s);              // sends 0, times seq 0
+  ack(s, 1);              // covers 0: sample; cwnd 2, sends 1-2, times seq 1
+  EXPECT_EQ(samples, 1);
+  ack(s, 2);              // covers 1: sample; cwnd 3, sends 3-4, times seq 3
+  EXPECT_EQ(samples, 2);
+  // snd_una is 2, the timed packet is 3: a partial ACK up to exactly 3
+  // advances the window but leaves the timed packet outstanding.
+  ack(s, 3);
+  EXPECT_EQ(samples, 2);  // no sample
+  ack(s, 4);              // now seq 3 is covered
+  EXPECT_EQ(samples, 3);
+}
+
 TEST_F(SenderTest, RttSampledFromCleanExchange) {
   TahoeSender s(sim_, net_.host(h1_), params());
   attach(s);
