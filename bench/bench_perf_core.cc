@@ -17,6 +17,11 @@
 //   --scale F         multiply simulated durations (0.1 = quick smoke) [1]
 //   --reps N          repetitions per gated workload, best-of reported [3]
 //   --jobs N          worker threads for the sweep workload [1, pinned]
+//   --audit-overhead-max F
+//                     also run fig6 with the conservation audit fully off
+//                     and fail if the default audit mode costs more than
+//                     fraction F of events/sec (same-run comparison, so it
+//                     is far less noisy than a cross-run baseline)
 //
 // The committed baseline lives at the repo root as BENCH_core.json; refresh
 // it by re-running on the reference machine (see README "Benchmarking").
@@ -127,7 +132,7 @@ WorkloadResult run_queue_micro(double scale) {
   const double t0 = now_sec();
   std::uint64_t moved = 0;
   for (int i = 0; i < rounds; ++i) {
-    for (int k = 0; k < 32; ++k) fifo.push(p);
+    for (int k = 0; k < 32; ++k) fifo.offer(p);
     for (int k = 0; k < 32; ++k) {
       auto popped = fifo.pop();
       moved += popped.has_value();
@@ -315,6 +320,20 @@ int main(int argc, char** argv) {
     sc.duration = sim::Time::seconds(3000.0 * scale);
     return run_scenario_workload("fig6", std::move(sc));
   }));
+  const bool check_audit_overhead = flags.has("audit-overhead-max");
+  if (check_audit_overhead) {
+    // Same scenario with every conservation check disabled: the fig6 /
+    // fig6_noaudit ratio is the price of the default audit mode.
+    results.push_back(best_of(reps, [&] {
+      core::Scenario sc = core::fig6_twoway();
+      sc.warmup = sim::Time::seconds(50.0 * scale);
+      sc.duration = sim::Time::seconds(3000.0 * scale);
+      sc.exp->set_audit_mode(core::AuditMode::kOff);
+      WorkloadResult r = run_scenario_workload("fig6_noaudit", std::move(sc));
+      r.gated = false;  // exists only for the overhead ratio
+      return r;
+    }));
+  }
   results.push_back(run_sweep16(scale, jobs));
 
   const std::string out = flags.get("out", "-");
@@ -327,6 +346,29 @@ int main(int argc, char** argv) {
       return 2;
     }
     write_report(os, results);
+  }
+
+  if (check_audit_overhead) {
+    const auto find = [&](const std::string& name) -> const WorkloadResult* {
+      for (const auto& w : results)
+        if (w.name == name) return &w;
+      return nullptr;
+    };
+    const WorkloadResult* with = find("fig6");
+    const WorkloadResult* without = find("fig6_noaudit");
+    const double max_overhead = flags.get_double("audit-overhead-max", 0.02);
+    const double overhead =
+        1.0 - with->events_per_sec() / without->events_per_sec();
+    std::fprintf(stderr,
+                 "bench_perf_core: audit overhead %.2f%% (max %.0f%%)\n",
+                 overhead * 100.0, max_overhead * 100.0);
+    if (overhead > max_overhead) {
+      std::fprintf(stderr,
+                   "bench_perf_core: FAIL audit mode costs %.2f%% events/sec "
+                   "(budget %.0f%%)\n",
+                   overhead * 100.0, max_overhead * 100.0);
+      return 1;
+    }
   }
 
   if (flags.has("baseline")) {

@@ -19,7 +19,10 @@ SyncResult classify_sync(const util::TimeSeries& a, const util::TimeSeries& b,
   SyncResult r;
   const std::vector<double> sa = util::detrend(a.resample(from, to, dt));
   const std::vector<double> sb = util::detrend(b.resample(from, to, dt));
-  r.correlation = util::pearson(sa, sb);
+  const util::Correlation c = util::pearson_checked(sa, sb);
+  r.correlation = c.rho;
+  r.degenerate = c.degenerate;
+  if (c.degenerate) return r;  // no signal: stays kUnclassified
   if (r.correlation > threshold) {
     r.mode = SyncMode::kInPhase;
   } else if (r.correlation < -threshold) {
@@ -187,7 +190,10 @@ SyncResult classify_throughput_alternation(const PortTrace& port_a,
                                                  bin));
   const auto b = util::detrend(throughput_series(port_b, conn_b, from, to,
                                                  bin));
-  r.correlation = util::pearson(a, b);
+  const util::Correlation c = util::pearson_checked(a, b);
+  r.correlation = c.rho;
+  r.degenerate = c.degenerate;
+  if (c.degenerate) return r;  // no signal: stays kUnclassified
   if (r.correlation > 0.2) {
     r.mode = SyncMode::kInPhase;
   } else if (r.correlation < -0.2) {

@@ -23,11 +23,16 @@ enum class SyncMode { kInPhase, kOutOfPhase, kUnclassified };
 struct SyncResult {
   SyncMode mode = SyncMode::kUnclassified;
   double correlation = 0.0;  // Pearson rho of the detrended resampled series
+  // True when the correlation is undefined (a constant, flat, or empty
+  // series): mode is kUnclassified and correlation is 0, but for the reason
+  // "no signal", not "no phase relation".
+  bool degenerate = false;
 };
 
 // Classifies the phase relation of two series over [from, to], resampling on
 // a dt grid and detrending before correlating. |rho| <= threshold is
-// unclassified.
+// unclassified; a zero-variance series sets `degenerate` instead of
+// silently reporting rho = 0.
 SyncResult classify_sync(const util::TimeSeries& a, const util::TimeSeries& b,
                          double from, double to, double dt = 0.05,
                          double threshold = 0.2);

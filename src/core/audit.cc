@@ -1,0 +1,337 @@
+#include "core/audit.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/event_trace.h"
+#include "net/port.h"
+
+namespace tcpdyn::core {
+
+namespace {
+
+constexpr std::size_t kMaxViolationMessages = 32;
+
+// Shared by audit_counters_check and Audit::finalize: verifies the per-port
+// and global conservation laws over the counters the network maintains
+// natively, filling `totals` from them. Appends one message per violated
+// invariant.
+void counters_check_into(net::Network& net, AuditTotals& totals,
+                         std::vector<std::string>& violations) {
+  net.for_each_port([&](net::OutputPort& port) {
+    const net::QueueCounters& c = port.counters();
+    const std::uint64_t len = port.queue_length();
+    if (c.arrivals != c.departures + c.drops + len) {
+      std::ostringstream os;
+      os << port.name() << ": packet conservation violated: arrivals "
+         << c.arrivals << " != departures " << c.departures << " + drops "
+         << c.drops << " + queued " << len;
+      violations.push_back(os.str());
+    }
+    const std::uint64_t len_bytes = port.queue_length_bytes();
+    if (c.bytes_arrived != c.bytes_departed + c.bytes_dropped + len_bytes) {
+      std::ostringstream os;
+      os << port.name() << ": byte conservation violated: arrived "
+         << c.bytes_arrived << " != departed " << c.bytes_departed
+         << " + dropped " << c.bytes_dropped << " + queued " << len_bytes;
+      violations.push_back(os.str());
+    }
+    totals.dropped += c.drops;
+    totals.bytes_dropped += c.bytes_dropped;
+    totals.in_queue += len;
+    totals.bytes_in_queue += len_bytes;
+  });
+  net.for_each_host([&](net::Host& host) {
+    const net::HostCounters& c = host.counters();
+    totals.created += c.created;
+    totals.delivered += c.delivered;
+    totals.bytes_created += c.bytes_created;
+    totals.bytes_delivered += c.bytes_delivered;
+  });
+  const std::uint64_t accounted =
+      totals.delivered + totals.dropped + totals.in_queue;
+  if (totals.created < accounted) {
+    std::ostringstream os;
+    os << "global conservation violated: created " << totals.created
+       << " < delivered " << totals.delivered << " + dropped "
+       << totals.dropped << " + queued " << totals.in_queue;
+    violations.push_back(os.str());
+  } else {
+    totals.in_flight = totals.created - accounted;
+  }
+  const std::uint64_t bytes_accounted =
+      totals.bytes_delivered + totals.bytes_dropped + totals.bytes_in_queue;
+  if (totals.bytes_created < bytes_accounted) {
+    std::ostringstream os;
+    os << "global byte conservation violated: created " << totals.bytes_created
+       << " < delivered " << totals.bytes_delivered << " + dropped "
+       << totals.bytes_dropped << " + queued " << totals.bytes_in_queue;
+    violations.push_back(os.str());
+  }
+}
+
+}  // namespace
+
+std::optional<AuditMode> parse_audit_mode(std::string_view s) {
+  if (s == "off") return AuditMode::kOff;
+  if (s == "counters") return AuditMode::kCounters;
+  if (s == "full") return AuditMode::kFull;
+  return std::nullopt;
+}
+
+std::string AuditReport::to_string() const {
+  std::ostringstream os;
+  os << "audit: created " << totals.created << " = delivered "
+     << totals.delivered << " + dropped " << totals.dropped << " + in-queue "
+     << totals.in_queue << " + in-flight " << totals.in_flight << " ("
+     << totals.bytes_created << " bytes created, " << totals.bytes_delivered
+     << " delivered, " << totals.bytes_dropped << " dropped)";
+  for (const std::string& v : violations) os << "\n  VIOLATION: " << v;
+  return os.str();
+}
+
+AuditReport audit_counters_check(net::Network& net) {
+  AuditReport report;
+  counters_check_into(net, report.totals, report.violations);
+  report.ok = report.violations.empty();
+  return report;
+}
+
+const char* Audit::state_name(State s) {
+  switch (s) {
+    case State::kInFlight: return "in-flight";
+    case State::kInQueue: return "in-queue";
+    case State::kDelivered: return "delivered";
+    case State::kDropped: return "dropped";
+  }
+  return "?";
+}
+
+void Audit::violation(std::string msg) {
+  if (violations_.size() >= kMaxViolationMessages) {
+    ++suppressed_violations_;
+    return;
+  }
+  violations_.push_back(std::move(msg));
+}
+
+void Audit::transition(std::uint64_t uid, State expected, State next,
+                       const char* event) {
+  auto it = ledger_.find(uid);
+  if (it == ledger_.end()) {
+    violation(std::string(event) + " of unknown uid " + std::to_string(uid) +
+              " (packet never created)");
+    return;
+  }
+  if (it->second != expected) {
+    violation(std::string(event) + " of uid " + std::to_string(uid) +
+              " in state " + state_name(it->second) + " (expected " +
+              state_name(expected) + ")");
+  }
+  // Advance regardless, so one bad transition does not cascade into a
+  // violation per subsequent event of the same packet.
+  it->second = next;
+}
+
+void Audit::on_create(sim::Time t, const net::Packet& pkt) {
+  auto [it, inserted] = ledger_.emplace(pkt.uid, State::kInFlight);
+  if (!inserted) {
+    violation("uid " + std::to_string(pkt.uid) +
+              " created twice (uid reuse or double send)");
+    it->second = State::kInFlight;
+  }
+  ++totals_.created;
+  totals_.bytes_created += pkt.size_bytes;
+  if (trace_ != nullptr) trace_->on_create(t, pkt);
+}
+
+void Audit::on_enqueue(sim::Time t, const net::OutputPort& port,
+                       const net::Packet& pkt) {
+  transition(pkt.uid, State::kInFlight, State::kInQueue, "enqueue");
+  PortTally& tally = tallies_[&port];
+  ++tally.enqueued;
+  tally.bytes_enqueued += pkt.size_bytes;
+  if (trace_ != nullptr) trace_->on_enqueue(t, port, pkt);
+}
+
+void Audit::on_drop(sim::Time t, const net::OutputPort& port,
+                    const net::Packet& pkt, bool was_queued) {
+  transition(pkt.uid, was_queued ? State::kInQueue : State::kInFlight,
+             State::kDropped, "drop");
+  PortTally& tally = tallies_[&port];
+  if (was_queued) {
+    ++tally.victim_drops;
+    tally.bytes_victim_drops += pkt.size_bytes;
+  } else {
+    ++tally.arrival_drops;
+  }
+  tally.bytes_dropped += pkt.size_bytes;
+  ++totals_.dropped;
+  totals_.bytes_dropped += pkt.size_bytes;
+  if (trace_ != nullptr) trace_->on_drop(t, port, pkt, was_queued);
+}
+
+void Audit::on_dequeue(sim::Time t, const net::OutputPort& port,
+                       const net::Packet& pkt) {
+  transition(pkt.uid, State::kInQueue, State::kInFlight, "dequeue");
+  PortTally& tally = tallies_[&port];
+  ++tally.dequeued;
+  tally.bytes_dequeued += pkt.size_bytes;
+  tally.tx_ns += port.transmission_time(pkt).ns();
+  if (trace_ != nullptr) trace_->on_dequeue(t, port, pkt);
+}
+
+void Audit::on_deliver(sim::Time t, const net::Packet& pkt) {
+  transition(pkt.uid, State::kInFlight, State::kDelivered, "deliver");
+  ++totals_.delivered;
+  totals_.bytes_delivered += pkt.size_bytes;
+  if (trace_ != nullptr) trace_->on_deliver(t, pkt);
+}
+
+AuditReport Audit::finalize(net::Network& net, sim::Time now) {
+  AuditReport report;
+
+  // 1. Native-counter conservation (the kCounters check), and the native
+  // totals to reconcile the ledger against.
+  AuditTotals native;
+  counters_check_into(net, native, report.violations);
+
+  // 2. State-machine violations recorded while events streamed in.
+  for (std::string& v : violations_) report.violations.push_back(std::move(v));
+  violations_.clear();
+  if (suppressed_violations_ > 0) {
+    report.violations.push_back(
+        "+" + std::to_string(suppressed_violations_) +
+        " further transition violations suppressed");
+  }
+
+  // 3. Close the ledger: every uid ends in exactly one of the four states.
+  totals_.in_queue = 0;
+  totals_.in_flight = 0;
+  std::uint64_t delivered_states = 0, dropped_states = 0;
+  for (const auto& [uid, state] : ledger_) {
+    switch (state) {
+      case State::kInQueue: ++totals_.in_queue; break;
+      case State::kInFlight: ++totals_.in_flight; break;
+      case State::kDelivered: ++delivered_states; break;
+      case State::kDropped: ++dropped_states; break;
+    }
+  }
+  if (totals_.created !=
+      totals_.delivered + totals_.dropped + totals_.in_queue +
+          totals_.in_flight) {
+    std::ostringstream os;
+    os << "ledger does not close: created " << totals_.created
+       << " != delivered " << totals_.delivered << " + dropped "
+       << totals_.dropped << " + in-queue " << totals_.in_queue
+       << " + in-flight " << totals_.in_flight;
+    report.violations.push_back(os.str());
+  }
+  if (delivered_states != totals_.delivered ||
+      dropped_states != totals_.dropped) {
+    report.violations.push_back(
+        "ledger terminal states disagree with event counts (delivered " +
+        std::to_string(delivered_states) + "/" +
+        std::to_string(totals_.delivered) + ", dropped " +
+        std::to_string(dropped_states) + "/" +
+        std::to_string(totals_.dropped) + ")");
+  }
+
+  // 4. Ledger totals vs native counters.
+  const auto check_total = [&](const char* what, std::uint64_t ledger,
+                               std::uint64_t counters) {
+    if (ledger != counters) {
+      report.violations.push_back(std::string("ledger ") + what + " " +
+                                  std::to_string(ledger) +
+                                  " != native counter total " +
+                                  std::to_string(counters));
+    }
+  };
+  check_total("created", totals_.created, native.created);
+  check_total("delivered", totals_.delivered, native.delivered);
+  check_total("dropped", totals_.dropped, native.dropped);
+  check_total("bytes created", totals_.bytes_created, native.bytes_created);
+  check_total("bytes delivered", totals_.bytes_delivered,
+              native.bytes_delivered);
+  check_total("bytes dropped", totals_.bytes_dropped, native.bytes_dropped);
+
+  // 5. Per-port reconciliation in deterministic (port-map) order: observed
+  // events vs native counters vs the live queue, and the busy-time
+  // cross-check where a busy record exists.
+  std::uint64_t bytes_in_queue = 0;
+  std::size_t ports_seen = 0;
+  net.for_each_port([&](net::OutputPort& port) {
+    static const PortTally kEmpty{};
+    auto it = tallies_.find(&port);
+    const PortTally& t = it == tallies_.end() ? kEmpty : it->second;
+    if (it != tallies_.end()) ++ports_seen;
+    const net::QueueCounters& c = port.counters();
+    const auto mismatch = [&](const char* what, std::uint64_t observed,
+                              std::uint64_t counted) {
+      if (observed != counted) {
+        report.violations.push_back(port.name() + ": observed " + what + " " +
+                                    std::to_string(observed) +
+                                    " != native count " +
+                                    std::to_string(counted));
+      }
+    };
+    mismatch("arrivals", t.enqueued + t.arrival_drops, c.arrivals);
+    mismatch("departures", t.dequeued, c.departures);
+    mismatch("drops", t.arrival_drops + t.victim_drops, c.drops);
+    mismatch("dropped bytes", t.bytes_dropped, c.bytes_dropped);
+    const std::int64_t ledger_queued =
+        static_cast<std::int64_t>(t.enqueued) -
+        static_cast<std::int64_t>(t.dequeued) -
+        static_cast<std::int64_t>(t.victim_drops);
+    if (ledger_queued != static_cast<std::int64_t>(port.queue_length())) {
+      report.violations.push_back(
+          port.name() + ": observed occupancy " +
+          std::to_string(ledger_queued) + " != live queue length " +
+          std::to_string(port.queue_length()));
+    }
+    const std::int64_t ledger_queued_bytes =
+        static_cast<std::int64_t>(t.bytes_enqueued) -
+        static_cast<std::int64_t>(t.bytes_dequeued) -
+        static_cast<std::int64_t>(t.bytes_victim_drops);
+    if (ledger_queued_bytes !=
+        static_cast<std::int64_t>(port.queue_length_bytes())) {
+      report.violations.push_back(
+          port.name() + ": observed queued bytes " +
+          std::to_string(ledger_queued_bytes) + " != live queue bytes " +
+          std::to_string(port.queue_length_bytes()));
+    } else {
+      bytes_in_queue += port.queue_length_bytes();
+    }
+    if (port.busy_record_enabled()) {
+      // Completed serializations must account for the recorded busy time
+      // exactly; while a packet is mid-serialization the open interval may
+      // exceed the tally by at most that packet's transmission time.
+      const std::int64_t busy_ns =
+          port.busy_in(sim::Time::zero(), now).ns();
+      const std::int64_t slack =
+          port.transmitting() && port.queue_length() > 0
+              ? port.transmission_time(port.front()).ns()
+              : 0;
+      const std::int64_t diff = busy_ns - t.tx_ns;
+      if (diff < 0 || diff > slack) {
+        std::ostringstream os;
+        os << port.name() << ": busy time " << busy_ns
+           << "ns inconsistent with " << t.tx_ns
+           << "ns of completed transmissions (slack " << slack << "ns)";
+        report.violations.push_back(os.str());
+      }
+    }
+  });
+  if (ports_seen != tallies_.size()) {
+    report.violations.push_back(
+        std::to_string(tallies_.size() - ports_seen) +
+        " port(s) with observed events are not part of the audited network");
+  }
+  totals_.bytes_in_queue = bytes_in_queue;
+
+  report.totals = totals_;
+  report.ok = report.violations.empty();
+  return report;
+}
+
+}  // namespace tcpdyn::core

@@ -1,0 +1,142 @@
+// Packet-lifecycle conservation audit.
+//
+// Every figure in the paper is an accounting claim — how many packets were
+// sent, dropped, and delivered, and when — so the simulator carries its own
+// ledger: every packet uid must end a run as exactly one of
+//
+//   delivered | dropped-at-port | in-queue | in-flight
+//
+// with byte totals cross-checked against the native QueueCounters /
+// HostCounters and, for monitored ports, against recorded transmitter busy
+// time. Two strengths exist (see AuditMode):
+//
+//  * kCounters — audit_counters_check() over the counters every queue and
+//    host maintains natively. No observer, no per-packet state; the cost is
+//    one pass over the network at end of run. Always on in optimized builds.
+//  * kFull — an Audit observer (net::PacketObserver) tracks every uid
+//    through the create → enqueue → dequeue → deliver state machine,
+//    flags invalid transitions as they happen, and finalize() closes the
+//    ledger against the native counters, live queue contents, and port busy
+//    time. Default in Debug builds and under the `audit` ctest label.
+//
+// Experiment::run() performs the configured check automatically and throws
+// on any violation, so a conservation bug fails loudly instead of shifting
+// a figure by 2%.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.h"
+#include "net/observer.h"
+
+namespace tcpdyn::core {
+
+class EventTrace;
+
+// How much lifecycle checking Experiment::run performs.
+enum class AuditMode : std::uint8_t {
+  kOff,       // no checks; exists for measuring the audit's own overhead
+  kCounters,  // cheap native-counter cross-check (optimized-build default)
+  kFull,      // per-uid ledger + byte/busy cross-checks (Debug default)
+};
+
+#ifndef NDEBUG
+inline constexpr AuditMode kDefaultAuditMode = AuditMode::kFull;
+#else
+inline constexpr AuditMode kDefaultAuditMode = AuditMode::kCounters;
+#endif
+
+// "off" | "counters" | "full" (the CLI spelling); nullopt otherwise.
+std::optional<AuditMode> parse_audit_mode(std::string_view s);
+
+// Where every packet created during a run ended up. The conservation law:
+//   created == delivered + dropped + in_queue + in_flight
+// (in_flight: on a wire or inside host processing when the run stopped).
+struct AuditTotals {
+  std::uint64_t created = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t in_queue = 0;
+  std::uint64_t in_flight = 0;
+  std::uint64_t bytes_created = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t bytes_dropped = 0;
+  std::uint64_t bytes_in_queue = 0;
+};
+
+struct AuditReport {
+  bool ok = true;  // no violations
+  AuditTotals totals;
+  std::vector<std::string> violations;
+  std::string to_string() const;
+};
+
+// The cheap check: for every port,
+//   arrivals      == departures     + drops         + queue_length
+//   bytes_arrived == bytes_departed + bytes_dropped + queue_length_bytes
+// and globally created >= delivered + dropped + in_queue (the remainder,
+// packets in flight, must be non-negative; it is returned in totals).
+AuditReport audit_counters_check(net::Network& net);
+
+// The full ledger. Install via Network::set_observer before traffic flows
+// (Experiment::run does this in kFull mode), then finalize() once the run
+// stops. Also forwards every observed event to an EventTrace, since the
+// network has a single observer slot.
+class Audit : public net::PacketObserver {
+ public:
+  Audit() = default;
+
+  void set_trace(EventTrace* trace) { trace_ = trace; }
+
+  // net::PacketObserver — validates the uid state machine as events happen.
+  void on_create(sim::Time t, const net::Packet& pkt) override;
+  void on_enqueue(sim::Time t, const net::OutputPort& port,
+                  const net::Packet& pkt) override;
+  void on_drop(sim::Time t, const net::OutputPort& port,
+               const net::Packet& pkt, bool was_queued) override;
+  void on_dequeue(sim::Time t, const net::OutputPort& port,
+                  const net::Packet& pkt) override;
+  void on_deliver(sim::Time t, const net::Packet& pkt) override;
+
+  // Closes the ledger at time `now`: every uid must be in a terminal or
+  // residual state consistent with the native counters, the live queue
+  // contents, and (for ports with a busy record) the transmitter busy time.
+  // Includes everything audit_counters_check reports.
+  AuditReport finalize(net::Network& net, sim::Time now);
+
+ private:
+  enum class State : std::uint8_t { kInFlight, kInQueue, kDelivered, kDropped };
+
+  // Per-port event tally, reconciled against the port's native
+  // QueueCounters in finalize().
+  struct PortTally {
+    std::uint64_t enqueued = 0;
+    std::uint64_t dequeued = 0;
+    std::uint64_t arrival_drops = 0;  // rejected arrivals
+    std::uint64_t victim_drops = 0;   // random-drop evictions
+    std::uint64_t bytes_enqueued = 0;
+    std::uint64_t bytes_dequeued = 0;
+    std::uint64_t bytes_dropped = 0;
+    std::uint64_t bytes_victim_drops = 0;
+    std::int64_t tx_ns = 0;  // serialization time of dequeued packets
+  };
+
+  static const char* state_name(State s);
+  void violation(std::string msg);
+  void transition(std::uint64_t uid, State expected, State next,
+                  const char* event);
+
+  std::unordered_map<std::uint64_t, State> ledger_;
+  std::unordered_map<const net::OutputPort*, PortTally> tallies_;
+  AuditTotals totals_;  // created/delivered/dropped filled during the run
+  std::vector<std::string> violations_;
+  std::size_t suppressed_violations_ = 0;
+  EventTrace* trace_ = nullptr;
+};
+
+}  // namespace tcpdyn::core

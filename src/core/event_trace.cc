@@ -1,0 +1,112 @@
+#include "core/event_trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "net/port.h"
+
+namespace tcpdyn::core {
+
+EventTrace::EventTrace(std::unique_ptr<std::ostream> owned)
+    : owned_(std::move(owned)), os_(owned_.get()) {}
+
+std::unique_ptr<EventTrace> EventTrace::to_file(const std::string& path) {
+  auto os = std::make_unique<std::ofstream>(path, std::ios::binary);
+  if (!*os) {
+    throw std::runtime_error("EventTrace: cannot open '" + path +
+                             "' for writing");
+  }
+  return std::unique_ptr<EventTrace>(new EventTrace(std::move(os)));
+}
+
+void EventTrace::write_line(const char* buf) {
+  *os_ << buf << '\n';
+  ++events_;
+}
+
+void EventTrace::flush() { os_->flush(); }
+
+void EventTrace::on_create(sim::Time t, const net::Packet& pkt) {
+  char buf[256];
+  if (net::is_data(pkt)) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"t\":%.9f,\"ev\":\"send\",\"uid\":%llu,\"conn\":%u,"
+                  "\"seq\":%u,\"bytes\":%u,\"src\":%u,\"dst\":%u,"
+                  "\"retransmit\":%s}",
+                  t.sec(), static_cast<unsigned long long>(pkt.uid), pkt.conn,
+                  pkt.seq, pkt.size_bytes, pkt.src, pkt.dst,
+                  pkt.retransmit ? "true" : "false");
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"t\":%.9f,\"ev\":\"ack\",\"uid\":%llu,\"conn\":%u,"
+                  "\"ack\":%u,\"bytes\":%u,\"src\":%u,\"dst\":%u}",
+                  t.sec(), static_cast<unsigned long long>(pkt.uid), pkt.conn,
+                  pkt.ack, pkt.size_bytes, pkt.src, pkt.dst);
+  }
+  write_line(buf);
+}
+
+void EventTrace::on_enqueue(sim::Time t, const net::OutputPort& port,
+                            const net::Packet& pkt) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"t\":%.9f,\"ev\":\"enqueue\",\"uid\":%llu,\"port\":\"%s\","
+                "\"queue\":%zu}",
+                t.sec(), static_cast<unsigned long long>(pkt.uid),
+                port.name().c_str(), port.queue_length());
+  write_line(buf);
+}
+
+void EventTrace::on_drop(sim::Time t, const net::OutputPort& port,
+                         const net::Packet& pkt, bool was_queued) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"t\":%.9f,\"ev\":\"drop\",\"uid\":%llu,\"port\":\"%s\","
+                "\"conn\":%u,\"kind\":\"%s\",\"seq\":%u,\"victim\":%s}",
+                t.sec(), static_cast<unsigned long long>(pkt.uid),
+                port.name().c_str(), pkt.conn,
+                net::is_data(pkt) ? "data" : "ack",
+                net::is_data(pkt) ? pkt.seq : pkt.ack,
+                was_queued ? "true" : "false");
+  write_line(buf);
+}
+
+void EventTrace::on_dequeue(sim::Time t, const net::OutputPort& port,
+                            const net::Packet& pkt) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"t\":%.9f,\"ev\":\"dequeue\",\"uid\":%llu,\"port\":\"%s\","
+                "\"queue\":%zu}",
+                t.sec(), static_cast<unsigned long long>(pkt.uid),
+                port.name().c_str(), port.queue_length());
+  write_line(buf);
+}
+
+void EventTrace::on_deliver(sim::Time t, const net::Packet& pkt) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"t\":%.9f,\"ev\":\"deliver\",\"uid\":%llu,\"conn\":%u,"
+                "\"kind\":\"%s\"}",
+                t.sec(), static_cast<unsigned long long>(pkt.uid), pkt.conn,
+                net::is_data(pkt) ? "data" : "ack");
+  write_line(buf);
+}
+
+void EventTrace::rto(sim::Time t, net::ConnId conn) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "{\"t\":%.9f,\"ev\":\"rto\",\"conn\":%u}",
+                t.sec(), conn);
+  write_line(buf);
+}
+
+void EventTrace::cwnd_change(sim::Time t, net::ConnId conn, double cwnd) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"t\":%.9f,\"ev\":\"cwnd-change\",\"conn\":%u,"
+                "\"cwnd\":%.6f}",
+                t.sec(), conn, cwnd);
+  write_line(buf);
+}
+
+}  // namespace tcpdyn::core

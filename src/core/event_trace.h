@@ -1,0 +1,64 @@
+// EventTrace: opt-in structured trace of every packet-lifecycle and
+// congestion-control event in a run, one JSON object per line (JSONL).
+//
+// Event vocabulary (the `ev` field):
+//   send         data packet handed to its source host
+//   ack          ACK packet handed to its source host
+//   enqueue      packet admitted to a port buffer      (port, queue length)
+//   drop         packet discarded at a port            (victim: true when a
+//                random-drop eviction rather than a rejected arrival)
+//   dequeue      packet finished serializing, left the buffer for the wire
+//   deliver      packet handed to its destination endpoint
+//   rto          retransmission timer expired at a sender
+//   cwnd-change  congestion window changed (ACK of new data, or loss)
+//
+// Every line carries `t` (seconds, 9 decimal places = the simulator's
+// nanosecond resolution) and, for packet events, the packet `uid` — the
+// same uid the conservation audit tracks, so a trace can be joined against
+// ledger states offline. Enable per run via Experiment::enable_trace or per
+// grid point via tcpdyn_sweep --trace.
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "net/observer.h"
+
+namespace tcpdyn::core {
+
+class EventTrace : public net::PacketObserver {
+ public:
+  // Writes to a caller-owned stream (kept open; caller outlives the trace).
+  explicit EventTrace(std::ostream& os) : os_(&os) {}
+
+  // Opens `path` for writing; throws std::runtime_error on failure.
+  static std::unique_ptr<EventTrace> to_file(const std::string& path);
+
+  // net::PacketObserver — one line per event.
+  void on_create(sim::Time t, const net::Packet& pkt) override;
+  void on_enqueue(sim::Time t, const net::OutputPort& port,
+                  const net::Packet& pkt) override;
+  void on_drop(sim::Time t, const net::OutputPort& port,
+               const net::Packet& pkt, bool was_queued) override;
+  void on_dequeue(sim::Time t, const net::OutputPort& port,
+                  const net::Packet& pkt) override;
+  void on_deliver(sim::Time t, const net::Packet& pkt) override;
+
+  // Transport-level events, forwarded by Experiment from the sender hooks.
+  void rto(sim::Time t, net::ConnId conn);
+  void cwnd_change(sim::Time t, net::ConnId conn, double cwnd);
+
+  std::uint64_t events_written() const { return events_; }
+  void flush();
+
+ private:
+  EventTrace(std::unique_ptr<std::ostream> owned);
+  void write_line(const char* buf);
+
+  std::unique_ptr<std::ostream> owned_;  // set when to_file() opened it
+  std::ostream* os_ = nullptr;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace tcpdyn::core

@@ -29,16 +29,22 @@ tcp::Connection& Experiment::add_connection(
     cwnd_[config.id].record(config.start_time.sec(), tahoe->cwnd());
     tahoe->on_cwnd_change = [this, id = config.id](sim::Time t, double w) {
       cwnd_[id].record(t.sec(), w);
+      if (trace_) trace_->cwnd_change(t, id, w);
     };
   } else if (auto* reno = conn.reno()) {
     cwnd_[config.id].record(config.start_time.sec(), reno->cwnd());
     reno->on_cwnd_change = [this, id = config.id](sim::Time t, double w) {
       cwnd_[id].record(t.sec(), w);
+      if (trace_) trace_->cwnd_change(t, id, w);
     };
   }
   conn.sender().on_rtt_sample = [this, id = config.id](sim::Time t,
                                                        sim::Time rtt) {
     rtt_samples_[id].emplace_back(t.sec(), rtt.sec());
+  };
+  conn.sender().on_loss_detected = [this, id = config.id](
+                                       sim::Time t, tcp::LossSignal signal) {
+    if (trace_ && signal == tcp::LossSignal::kTimeout) trace_->rto(t, id);
   };
   // ACK arrival instrumentation lives on the source host.
   hook_host(config.src_host);
@@ -70,9 +76,33 @@ void Experiment::monitor(net::NodeId from, net::NodeId to) {
   monitored_.push_back(std::move(mp));
 }
 
+void Experiment::set_audit_mode(AuditMode mode) {
+  if (ran_) throw std::logic_error("Experiment already ran");
+  audit_mode_ = mode;
+}
+
+void Experiment::enable_trace(const std::string& path) {
+  if (ran_) throw std::logic_error("Experiment already ran");
+  trace_ = EventTrace::to_file(path);
+}
+
+void Experiment::enable_trace(std::ostream& os) {
+  if (ran_) throw std::logic_error("Experiment already ran");
+  trace_ = std::make_unique<EventTrace>(os);
+}
+
 ExperimentResult Experiment::run(sim::Time warmup, sim::Time duration) {
   if (ran_) throw std::logic_error("Experiment already ran");
   ran_ = true;
+
+  // The full ledger needs to see every event from the first packet on, so
+  // the observer goes in before the simulator starts. Tracing rides on the
+  // same observer slot (Audit forwards), so a trace forces the ledger.
+  if (audit_mode_ == AuditMode::kFull || trace_) {
+    audit_ = std::make_unique<Audit>();
+    audit_->set_trace(trace_.get());
+    net_.set_observer(audit_.get());
+  }
 
   // Snapshot per-receiver delivery counts at the start of the measurement
   // window so `delivered` covers only the window.
@@ -116,6 +146,25 @@ ExperimentResult Experiment::run(sim::Time warmup, sim::Time duration) {
                                    : 0;
     r.delivered[id] = c->receiver().next_expected() - base;
   }
+
+  // Conservation check: a run whose books don't balance must not produce
+  // figures. finalize/counters_check also fill r.audit.
+  if (audit_) {
+    AuditReport report = audit_->finalize(net_, sim_.now());
+    if (!report.ok) {
+      throw std::logic_error("conservation audit failed:\n" +
+                             report.to_string());
+    }
+    r.audit = report.totals;
+  } else if (audit_mode_ == AuditMode::kCounters) {
+    AuditReport report = audit_counters_check(net_);
+    if (!report.ok) {
+      throw std::logic_error("conservation counter check failed:\n" +
+                             report.to_string());
+    }
+    r.audit = report.totals;
+  }
+  if (trace_) trace_->flush();
   return r;
 }
 

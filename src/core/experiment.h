@@ -7,9 +7,12 @@
 
 #include <map>
 #include <memory>
+#include <ostream>
 #include <string>
 #include <vector>
 
+#include "core/audit.h"
+#include "core/event_trace.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 #include "tcp/connection.h"
@@ -60,6 +63,9 @@ struct ExperimentResult {
   std::map<net::ConnId, std::uint64_t> delivered;     // in-order packets
                                                       // delivered inside the
                                                       // measurement window
+  // Conservation-audit totals for the whole run (see core/audit.h). Filled
+  // according to the configured AuditMode; zeros when the audit is off.
+  AuditTotals audit;
 };
 
 class Experiment {
@@ -83,6 +89,19 @@ class Experiment {
   // Ports are reported in ExperimentResult::ports in monitor() call order.
   void monitor(net::NodeId from, net::NodeId to);
 
+  // Strength of the conservation check run() performs (default: kFull in
+  // Debug builds, kCounters otherwise). run() throws std::logic_error if
+  // the check finds a violation.
+  void set_audit_mode(AuditMode mode);
+  AuditMode audit_mode() const { return audit_mode_; }
+
+  // Enables the JSONL event trace (see core/event_trace.h) for this run.
+  // Must be called before run(). The file variant throws std::runtime_error
+  // if the path cannot be opened; the stream variant writes to a
+  // caller-owned stream. Tracing forces at least a full-ledger observer.
+  void enable_trace(const std::string& path);
+  void enable_trace(std::ostream& os);
+
   // Runs warmup + duration and returns traces/metrics for the measurement
   // window [warmup, warmup + duration]. May be called once per Experiment.
   ExperimentResult run(sim::Time warmup, sim::Time duration);
@@ -105,6 +124,9 @@ class Experiment {
   std::map<net::ConnId, std::vector<double>> ack_arrivals_;
   std::map<net::ConnId, std::vector<std::pair<double, double>>> rtt_samples_;
   std::vector<net::NodeId> hooked_hosts_;
+  AuditMode audit_mode_ = kDefaultAuditMode;
+  std::unique_ptr<Audit> audit_;
+  std::unique_ptr<EventTrace> trace_;
   bool ran_ = false;
 };
 

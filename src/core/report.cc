@@ -20,13 +20,17 @@ void print_summary(std::ostream& os, const std::string& name,
   t.add_row({"utilization fwd", fmt_pct(s.util_fwd)});
   if (s.result.ports.size() > 1) {
     t.add_row({"utilization rev", fmt_pct(s.util_rev)});
-    t.add_row({"queue sync", std::string(to_string(s.queue_sync.mode)) +
-                                 " (rho=" + fmt(s.queue_sync.correlation) + ")"});
+    t.add_row({"queue sync",
+               std::string(to_string(s.queue_sync.mode)) +
+                   " (rho=" + fmt(s.queue_sync.correlation) + ")" +
+                   (s.queue_sync.degenerate ? " [degenerate]" : "")});
   }
   if (s.cwnd_sync.mode != SyncMode::kUnclassified ||
       s.result.cwnd.size() >= 2) {
-    t.add_row({"cwnd sync", std::string(to_string(s.cwnd_sync.mode)) +
-                                " (rho=" + fmt(s.cwnd_sync.correlation) + ")"});
+    t.add_row({"cwnd sync",
+               std::string(to_string(s.cwnd_sync.mode)) +
+                   " (rho=" + fmt(s.cwnd_sync.correlation) + ")" +
+                   (s.cwnd_sync.degenerate ? " [degenerate]" : "")});
   }
   t.add_row({"congestion epochs", std::to_string(s.epochs.epochs.size())});
   if (!s.epochs.epochs.empty()) {
@@ -54,6 +58,15 @@ void print_summary(std::ostream& os, const std::string& name,
   }
   if (s.period_fwd) {
     t.add_row({"fwd queue oscillation period", fmt(*s.period_fwd, 1) + "s"});
+  }
+  if (s.result.audit.created > 0) {
+    const AuditTotals& a = s.result.audit;
+    t.add_row({"conservation",
+               std::to_string(a.created) + " sent = " +
+                   std::to_string(a.delivered) + " delivered + " +
+                   std::to_string(a.dropped) + " dropped + " +
+                   std::to_string(a.in_queue) + " queued + " +
+                   std::to_string(a.in_flight) + " in flight"});
   }
   t.print(os);
 }

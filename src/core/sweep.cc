@@ -432,8 +432,12 @@ SweepRow summary_row(const SweepPoint& point, const ScenarioSummary& s) {
   row.add("util_rev", s.util_rev);
   row.add("queue_sync_mode", std::string(to_string(s.queue_sync.mode)));
   row.add("queue_sync_rho", s.queue_sync.correlation);
+  row.add("queue_sync_degenerate",
+          static_cast<std::int64_t>(s.queue_sync.degenerate ? 1 : 0));
   row.add("cwnd_sync_mode", std::string(to_string(s.cwnd_sync.mode)));
   row.add("cwnd_sync_rho", s.cwnd_sync.correlation);
+  row.add("cwnd_sync_degenerate",
+          static_cast<std::int64_t>(s.cwnd_sync.degenerate ? 1 : 0));
   row.add("epochs", static_cast<std::int64_t>(s.epochs.epochs.size()));
   row.add("drops_per_epoch", s.epochs.mean_drops_per_epoch);
   row.add("epoch_interval", s.epochs.mean_interval);
@@ -459,6 +463,12 @@ SweepRow summary_row(const SweepPoint& point, const ScenarioSummary& s) {
   if (s.period_fwd) {
     row.add("period_fwd", *s.period_fwd);
   }
+  // Conservation-audit totals, so a sweep table records that every point's
+  // books balanced (zeros when the audit was off).
+  row.add("audit_created", static_cast<std::int64_t>(s.result.audit.created));
+  row.add("audit_delivered",
+          static_cast<std::int64_t>(s.result.audit.delivered));
+  row.add("audit_dropped", static_cast<std::int64_t>(s.result.audit.dropped));
   return row;
 }
 

@@ -10,6 +10,9 @@ void Host::register_endpoint(ConnId conn, PacketKind kind, PacketSink* sink) {
 
 void Host::send(Packet pkt) {
   if (!port_) throw std::logic_error(name() + ": host has no access link");
+  ++counters_.created;
+  counters_.bytes_created += pkt.size_bytes;
+  if (observer_ != nullptr) observer_->on_create(sim_.now(), pkt);
   port_->enqueue(std::move(pkt));
 }
 
@@ -20,6 +23,9 @@ void Host::receive(Packet pkt) {
       throw std::logic_error(name() + ": no endpoint for conn " +
                              std::to_string(p.conn));
     }
+    ++counters_.delivered;
+    counters_.bytes_delivered += p.size_bytes;
+    if (observer_ != nullptr) observer_->on_deliver(sim_.now(), p);
     if (on_deliver) on_deliver(sim_.now(), p);
     it->second->deliver(p);
   };

@@ -27,6 +27,19 @@ class PacketSink {
   virtual void deliver(const Packet& pkt) = 0;
 };
 
+// Counters maintained natively by the host for the conservation audit:
+// every packet in the simulation is created in send() and terminates either
+// in a queue drop or in an endpoint delivery here, so
+//   sum(created) == sum(delivered) + sum(queue drops)
+//                   + packets queued + packets in flight
+// over the whole network (see core::audit_counters_check).
+struct HostCounters {
+  std::uint64_t created = 0;    // packets handed to the access link
+  std::uint64_t delivered = 0;  // packets handed to endpoints
+  std::uint64_t bytes_created = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
 class Host : public Node {
  public:
   Host(sim::Simulator& sim, NodeId id, std::string name,
@@ -53,10 +66,17 @@ class Host : public Node {
   // at sources (ACK-compression measurements).
   std::function<void(sim::Time, const Packet&)> on_deliver;
 
+  const HostCounters& counters() const { return counters_; }
+
+  // Lifecycle observer (see net/observer.h); null disables observation.
+  void set_observer(PacketObserver* observer) { observer_ = observer; }
+
  private:
   sim::Simulator& sim_;
   sim::Time processing_delay_;
   std::unique_ptr<OutputPort> port_;
+  PacketObserver* observer_ = nullptr;
+  HostCounters counters_;
   // Key: (conn << 1) | kind bit.
   std::unordered_map<std::uint64_t, PacketSink*> endpoints_;
 

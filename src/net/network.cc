@@ -12,6 +12,7 @@ NodeId Network::add_host(std::string name) {
   nodes_.push_back(
       {std::make_unique<Host>(sim_, id, std::move(name), host_processing_),
        /*host=*/true});
+  static_cast<Host&>(*nodes_.back().node).set_observer(observer_);
   adjacency_.emplace_back();
   return id;
 }
@@ -49,6 +50,7 @@ void Network::connect(NodeId a, NodeId b, std::int64_t bits_per_second,
         sim_, nodes_[from].node->name() + "->" + nodes_[to].node->name(),
         bits_per_second, propagation_delay, limit, policy, seed);
     port->set_peer(nodes_[to].node.get());
+    port->set_observer(observer_);
     OutputPort* raw = port.get();
     if (nodes_[from].host) {
       auto& h = static_cast<Host&>(*nodes_[from].node);
@@ -70,6 +72,24 @@ void Network::connect(NodeId a, NodeId b, std::int64_t bits_per_second,
 OutputPort* Network::port_between(NodeId from, NodeId to) {
   auto it = ports_.find({from, to});
   return it == ports_.end() ? nullptr : it->second;
+}
+
+void Network::set_observer(PacketObserver* observer) {
+  observer_ = observer;
+  for (auto& [key, port] : ports_) port->set_observer(observer);
+  for (auto& slot : nodes_) {
+    if (slot.host) static_cast<Host&>(*slot.node).set_observer(observer);
+  }
+}
+
+void Network::for_each_port(const std::function<void(OutputPort&)>& fn) {
+  for (auto& [key, port] : ports_) fn(*port);
+}
+
+void Network::for_each_host(const std::function<void(Host&)>& fn) {
+  for (auto& slot : nodes_) {
+    if (slot.host) fn(static_cast<Host&>(*slot.node));
+  }
 }
 
 void Network::compute_routes() {

@@ -4,12 +4,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "net/host.h"
+#include "net/observer.h"
 #include "net/switch_node.h"
 #include "sim/simulator.h"
 
@@ -48,6 +50,16 @@ class Network {
   // queue monitors and read utilization.
   OutputPort* port_between(NodeId from, NodeId to);
 
+  // Installs (or clears, with nullptr) the packet-lifecycle observer on
+  // every existing and future port and host. At most one observer per
+  // network; core::Audit and core::EventTrace chain through it.
+  void set_observer(PacketObserver* observer);
+
+  // Deterministic enumeration (port-map / node-id order) for the audit and
+  // report layers.
+  void for_each_port(const std::function<void(OutputPort&)>& fn);
+  void for_each_host(const std::function<void(Host&)>& fn);
+
   sim::Simulator& sim() { return sim_; }
 
  private:
@@ -58,6 +70,7 @@ class Network {
 
   sim::Simulator& sim_;
   sim::Time host_processing_;
+  PacketObserver* observer_ = nullptr;
   std::vector<NodeSlot> nodes_;
   std::vector<std::vector<NodeId>> adjacency_;
   std::map<std::pair<NodeId, NodeId>, OutputPort*> ports_;  // (from,to) -> port

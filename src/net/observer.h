@@ -1,0 +1,51 @@
+// PacketObserver: simulator-wide packet-lifecycle observation points. Every
+// packet journey (one uid — retransmissions mint fresh uids) passes through
+// a fixed state machine:
+//
+//   create ──► enqueue ──► dequeue ──► deliver
+//      │          │
+//      └─ drop    └─ drop (random-drop victim, was_queued = true)
+//
+// with enqueue/dequeue repeating once per hop. The observer sees every
+// transition, which is what the conservation audit (core::Audit) and the
+// structured event trace (core::EventTrace) are built on.
+//
+// The observer is a single nullable pointer per port/host, installed via
+// Network::set_observer; when unset (the default, and always the case for
+// the perf-gated bare-Network hot path) the only cost is one branch per
+// transition. This is deliberately separate from the analysis hooks
+// (OutputPort::on_drop etc.), which Experiment already occupies.
+#pragma once
+
+#include "net/packet.h"
+#include "sim/time.h"
+
+namespace tcpdyn::net {
+
+class OutputPort;
+
+class PacketObserver {
+ public:
+  virtual ~PacketObserver() = default;
+
+  // A transport endpoint handed `pkt` to its host for transmission.
+  virtual void on_create(sim::Time t, const Packet& pkt) = 0;
+
+  // `pkt` was admitted to `port`'s buffer.
+  virtual void on_enqueue(sim::Time t, const OutputPort& port,
+                          const Packet& pkt) = 0;
+
+  // `pkt` was discarded at `port`. `was_queued` distinguishes a random-drop
+  // victim (previously admitted, now evicted) from a rejected arrival.
+  virtual void on_drop(sim::Time t, const OutputPort& port, const Packet& pkt,
+                       bool was_queued) = 0;
+
+  // `pkt` finished serializing and left `port`'s buffer for the wire.
+  virtual void on_dequeue(sim::Time t, const OutputPort& port,
+                          const Packet& pkt) = 0;
+
+  // `pkt` reached its destination endpoint (after host processing).
+  virtual void on_deliver(sim::Time t, const Packet& pkt) = 0;
+};
+
+}  // namespace tcpdyn::net

@@ -20,8 +20,18 @@ OutputPort::OutputPort(sim::Simulator& sim, std::string name,
 
 void OutputPort::enqueue(Packet pkt) {
   // The head packet is in service on the wire while transmitting_ and must
-  // not be selected as a random-drop victim.
-  const EnqueueResult result = queue_.offer(std::move(pkt), transmitting_);
+  // not be selected as a random-drop victim. `pkt` is copied into the queue
+  // (Packet is a small trivially-copyable value) so the observer can still
+  // see the admitted arrival below.
+  const EnqueueResult result = queue_.offer(pkt, transmitting_);
+  if (observer_ != nullptr) {
+    // A dropped packet with result.accepted is a random-drop victim that had
+    // been admitted earlier; without it, the arrival itself was rejected.
+    if (result.dropped.has_value()) {
+      observer_->on_drop(sim_.now(), *this, *result.dropped, result.accepted);
+    }
+    if (result.accepted) observer_->on_enqueue(sim_.now(), *this, pkt);
+  }
   if (result.dropped.has_value() && on_drop) {
     on_drop(sim_.now(), *result.dropped);
   }
@@ -58,6 +68,7 @@ void OutputPort::finish_transmission() {
   if (record_busy_) busy_.back().end = sim_.now();
   std::optional<Packet> pkt = queue_.pop();
   assert(pkt.has_value());
+  if (observer_ != nullptr) observer_->on_dequeue(sim_.now(), *this, *pkt);
   if (on_queue_change) on_queue_change(sim_.now(), queue_.length());
   if (peer_ != nullptr) {
     // Propagation: error-free delivery after the fixed delay. Capture the

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/node.h"
+#include "net/observer.h"
 #include "net/packet.h"
 #include "net/queue.h"
 #include "sim/simulator.h"
@@ -45,7 +46,20 @@ class OutputPort {
   std::int64_t bits_per_second() const { return bits_per_second_; }
   sim::Time propagation_delay() const { return propagation_delay_; }
   std::size_t queue_length() const { return queue_.length(); }
+  std::size_t queue_length_bytes() const { return queue_.length_bytes(); }
   const QueueCounters& counters() const { return queue_.counters(); }
+
+  // Whether a packet is currently serializing onto the wire (the queue head
+  // occupies a buffer slot until finish_transmission pops it). The audit's
+  // busy-time cross-check uses this to bound the open busy interval.
+  bool transmitting() const { return transmitting_; }
+
+  // Head packet of the buffer; valid only when queue_length() > 0. While
+  // transmitting() this is the packet in service.
+  const Packet& front() const { return queue_.front(); }
+
+  // Lifecycle observer (see net/observer.h); null disables observation.
+  void set_observer(PacketObserver* observer) { observer_ = observer; }
 
   // Serialization time of one packet on this port's line.
   sim::Time transmission_time(const Packet& pkt) const {
@@ -80,6 +94,7 @@ class OutputPort {
   sim::Time propagation_delay_;
   DropTailQueue queue_;
   Node* peer_ = nullptr;
+  PacketObserver* observer_ = nullptr;
   bool transmitting_ = false;
   bool record_busy_ = false;
   std::vector<BusyInterval> busy_;  // merged, ordered; open last interval while transmitting

@@ -6,6 +6,7 @@ namespace tcpdyn::net {
 
 void DropTailQueue::count_drop(const Packet& pkt) {
   ++counters_.drops;
+  counters_.bytes_dropped += pkt.size_bytes;
   if (is_data(pkt)) {
     ++counters_.data_drops;
   } else {
@@ -13,12 +14,9 @@ void DropTailQueue::count_drop(const Packet& pkt) {
   }
 }
 
-bool DropTailQueue::push(Packet pkt) {
-  return offer(std::move(pkt)).accepted;
-}
-
 EnqueueResult DropTailQueue::offer(Packet pkt, bool protect_front) {
   ++counters_.arrivals;
+  counters_.bytes_arrived += pkt.size_bytes;
   EnqueueResult result;
   if (!limit_.is_infinite() && packets_.size() >= *limit_.packets) {
     if (policy_ == DropPolicy::kDropTail) {
@@ -56,6 +54,8 @@ std::optional<Packet> DropTailQueue::pop() {
   if (packets_.empty()) return std::nullopt;
   Packet pkt = packets_.pop_front();
   bytes_ -= pkt.size_bytes;
+  ++counters_.departures;
+  counters_.bytes_departed += pkt.size_bytes;
   return pkt;
 }
 

@@ -34,12 +34,21 @@ struct QueueLimit {
   bool is_infinite() const { return !packets.has_value(); }
 };
 
-// Counters maintained by the queue for the analysis layer.
+// Counters maintained natively by the queue for the analysis layer and the
+// conservation audit. Invariants (checked by core::audit_counters_check
+// after every Experiment::run):
+//
+//   arrivals      == departures      + drops         + length()
+//   bytes_arrived == bytes_departed  + bytes_dropped + length_bytes()
 struct QueueCounters {
   std::uint64_t arrivals = 0;
+  std::uint64_t departures = 0;   // successful pop()s
   std::uint64_t drops = 0;
   std::uint64_t data_drops = 0;   // drops that were data packets
   std::uint64_t ack_drops = 0;    // drops that were ACK packets
+  std::uint64_t bytes_arrived = 0;   // every offered packet's bytes
+  std::uint64_t bytes_departed = 0;  // bytes leaving via pop()
+  std::uint64_t bytes_dropped = 0;   // arrival and victim drops alike
   std::size_t max_length = 0;     // high-water mark, in packets
 };
 
@@ -63,13 +72,15 @@ class DropTailQueue {
         // front makes every subsequent operation allocation-free.
         packets_(limit.is_infinite() ? 32 : *limit.packets) {}
 
-  // Attempts to enqueue; returns false (and records the drop) when the
-  // arriving packet is discarded. Drop-tail shorthand for offer().
-  bool push(Packet pkt);
-
   // Offers a packet under the configured policy. `protect_front` excludes
   // the head packet from random-drop victim selection (it is in service on
   // the wire and cannot be unsent).
+  //
+  // This is the ONLY way in: a bool-returning push() shorthand used to
+  // exist, but it discarded EnqueueResult::dropped, so random-drop call
+  // sites never learned which queued victim was evicted and drop events
+  // went missing. Callers that only care about admission use
+  // offer(...).accepted.
   EnqueueResult offer(Packet pkt, bool protect_front = false);
 
   // Removes and returns the head packet; nullopt when empty.

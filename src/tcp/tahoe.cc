@@ -27,6 +27,11 @@ void TahoeSender::handle_new_ack(std::uint32_t /*newly_acked*/) {
   } else {
     cwnd_ += 1.0 / cwnd_;  // original BSD 4.3-Tahoe increment
   }
+  // BSD caps snd_cwnd at the advertised window. Without the clamp the
+  // accumulator grows past maxwnd during loss-free stretches (window() hides
+  // the excess), and handle_loss then halves the runaway accumulator instead
+  // of the effective window, yielding ssthresh > effective_wnd / 2.
+  cwnd_ = std::min(cwnd_, static_cast<double>(params().maxwnd));
   notify();
 }
 

@@ -6,7 +6,10 @@
 //     else                  cwnd += 1 / cwnd;     // congestion avoidance
 // The paper removes a floor-related anomaly by using cwnd += 1/⌊cwnd⌋ in
 // congestion avoidance so ⌊cwnd⌋ increases by exactly one per epoch; that
-// modified increment is the default here (modified_ca_increment).
+// modified increment is the default here (modified_ca_increment). As in the
+// BSD code, cwnd is capped at maxwnd after every increase, so a long
+// loss-free stretch cannot inflate the accumulator beyond the effective
+// window (and ssthresh after a loss is at most maxwnd / 2 + 1).
 //
 // On any detected loss (dup ACKs or timeout):
 //     ssthresh = max(min(cwnd / 2, maxwnd), 2);

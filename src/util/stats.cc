@@ -47,8 +47,13 @@ double percentile(std::span<const double> xs, double p) {
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
-double pearson(std::span<const double> a, std::span<const double> b) {
-  if (a.size() != b.size() || a.empty()) return 0.0;
+Correlation pearson_checked(std::span<const double> a,
+                            std::span<const double> b) {
+  Correlation c;
+  if (a.size() != b.size() || a.empty()) {
+    c.degenerate = true;
+    return c;
+  }
   const double ma = mean(a);
   const double mb = mean(b);
   double num = 0.0, va = 0.0, vb = 0.0;
@@ -59,8 +64,16 @@ double pearson(std::span<const double> a, std::span<const double> b) {
     va += da * da;
     vb += db * db;
   }
-  if (va <= 0.0 || vb <= 0.0) return 0.0;
-  return num / std::sqrt(va * vb);
+  if (va <= 0.0 || vb <= 0.0) {
+    c.degenerate = true;
+    return c;
+  }
+  c.rho = num / std::sqrt(va * vb);
+  return c;
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  return pearson_checked(a, b).rho;
 }
 
 std::vector<double> detrend(std::span<const double> xs) {

@@ -35,8 +35,23 @@ double mean(std::span<const double> xs);
 // ranks. Empty input returns 0.0.
 double percentile(std::span<const double> xs, double p);
 
+// Pearson correlation with an explicit degeneracy signal: a constant
+// (zero-variance) series has no defined correlation, and callers that
+// classify by rho must be able to tell "uncorrelated" (rho near 0) from
+// "rho is meaningless" (flat queue trace, empty window).
+struct Correlation {
+  double rho = 0.0;
+  // True when the correlation is undefined: lengths differ, series are
+  // empty, or either series has zero variance. rho is 0 in that case.
+  bool degenerate = false;
+};
+
+Correlation pearson_checked(std::span<const double> a,
+                            std::span<const double> b);
+
 // Pearson correlation coefficient of two equal-length series.
-// Returns 0.0 when either series has zero variance or lengths differ/empty.
+// Returns 0.0 when either series has zero variance or lengths differ/empty
+// (use pearson_checked to distinguish those degenerate cases from rho == 0).
 double pearson(std::span<const double> a, std::span<const double> b);
 
 // Removes the least-squares linear trend (intercept + slope*i) from xs.

@@ -55,6 +55,28 @@ TEST(ClassifySync, DetrendingIgnoresSharedRamp) {
   EXPECT_EQ(r.mode, SyncMode::kOutOfPhase);
 }
 
+TEST(ClassifySync, ConstantSeriesIsDegenerate) {
+  // A flat queue trace (e.g. an empty or saturated buffer) has no variance:
+  // the result must be flagged degenerate with rho 0, not silently
+  // unclassified — "no signal" is different from "no phase relation".
+  util::TimeSeries flat, sine;
+  for (double t = 0.0; t <= 100.0; t += 0.1) {
+    flat.record(t, 7.0);
+    sine.record(t, 10.0 + 5.0 * std::sin(t));
+  }
+  const SyncResult r = classify_sync(flat, sine, 0.0, 100.0);
+  EXPECT_TRUE(r.degenerate);
+  EXPECT_EQ(r.mode, SyncMode::kUnclassified);
+  EXPECT_DOUBLE_EQ(r.correlation, 0.0);
+  EXPECT_FALSE(std::isnan(r.correlation));
+  // Both flat: same verdict.
+  const SyncResult rr = classify_sync(flat, flat, 0.0, 100.0);
+  EXPECT_TRUE(rr.degenerate);
+  EXPECT_DOUBLE_EQ(rr.correlation, 0.0);
+  // And a healthy pair is not flagged.
+  EXPECT_FALSE(classify_sync(sine, sine, 0.0, 100.0).degenerate);
+}
+
 TEST(ClassifySyncToString, Names) {
   EXPECT_STREQ(to_string(SyncMode::kInPhase), "in-phase");
   EXPECT_STREQ(to_string(SyncMode::kOutOfPhase), "out-of-phase");

@@ -24,7 +24,7 @@ TEST(DropTailQueue, FifoOrder) {
   for (std::uint32_t i = 0; i < 5; ++i) {
     Packet p = data_pkt();
     p.seq = i;
-    ASSERT_TRUE(q.push(std::move(p)));
+    ASSERT_TRUE(q.offer(std::move(p)).accepted);
   }
   for (std::uint32_t i = 0; i < 5; ++i) {
     auto p = q.pop();
@@ -36,9 +36,12 @@ TEST(DropTailQueue, FifoOrder) {
 
 TEST(DropTailQueue, DropsWhenFull) {
   DropTailQueue q(QueueLimit::of(2));
-  EXPECT_TRUE(q.push(data_pkt()));
-  EXPECT_TRUE(q.push(data_pkt()));
-  EXPECT_FALSE(q.push(data_pkt()));  // arriving packet dropped (drop-tail)
+  EXPECT_TRUE(q.offer(data_pkt()).accepted);
+  EXPECT_TRUE(q.offer(data_pkt()).accepted);
+  // Arriving packet dropped (drop-tail); offer() reports the casualty.
+  const EnqueueResult r = q.offer(data_pkt());
+  EXPECT_FALSE(r.accepted);
+  ASSERT_TRUE(r.dropped.has_value());
   EXPECT_EQ(q.length(), 2u);
   EXPECT_EQ(q.counters().drops, 1u);
   EXPECT_EQ(q.counters().data_drops, 1u);
@@ -47,15 +50,15 @@ TEST(DropTailQueue, DropsWhenFull) {
 
 TEST(DropTailQueue, AckDropsCountedSeparately) {
   DropTailQueue q(QueueLimit::of(1));
-  EXPECT_TRUE(q.push(data_pkt()));
-  EXPECT_FALSE(q.push(ack_pkt()));
+  EXPECT_TRUE(q.offer(data_pkt()).accepted);
+  EXPECT_FALSE(q.offer(ack_pkt()).accepted);
   EXPECT_EQ(q.counters().ack_drops, 1u);
   EXPECT_EQ(q.counters().data_drops, 0u);
 }
 
 TEST(DropTailQueue, InfiniteNeverDrops) {
   DropTailQueue q(QueueLimit::infinite());
-  for (int i = 0; i < 10000; ++i) ASSERT_TRUE(q.push(data_pkt()));
+  for (int i = 0; i < 10000; ++i) ASSERT_TRUE(q.offer(data_pkt()).accepted);
   EXPECT_EQ(q.length(), 10000u);
   EXPECT_EQ(q.counters().drops, 0u);
   EXPECT_TRUE(q.limit().is_infinite());
@@ -63,8 +66,8 @@ TEST(DropTailQueue, InfiniteNeverDrops) {
 
 TEST(DropTailQueue, ByteAccounting) {
   DropTailQueue q(QueueLimit::of(10));
-  q.push(data_pkt(500));
-  q.push(ack_pkt());
+  q.offer(data_pkt(500));
+  q.offer(ack_pkt());
   EXPECT_EQ(q.length_bytes(), 550u);
   q.pop();
   EXPECT_EQ(q.length_bytes(), 50u);
@@ -74,9 +77,9 @@ TEST(DropTailQueue, ByteAccounting) {
 
 TEST(DropTailQueue, MaxLengthHighWaterMark) {
   DropTailQueue q(QueueLimit::of(10));
-  for (int i = 0; i < 7; ++i) q.push(data_pkt());
+  for (int i = 0; i < 7; ++i) q.offer(data_pkt());
   for (int i = 0; i < 5; ++i) q.pop();
-  for (int i = 0; i < 2; ++i) q.push(data_pkt());
+  for (int i = 0; i < 2; ++i) q.offer(data_pkt());
   EXPECT_EQ(q.counters().max_length, 7u);
 }
 
@@ -84,15 +87,35 @@ TEST(DropTailQueue, FrontPeeksWithoutRemoval) {
   DropTailQueue q(QueueLimit::of(10));
   Packet p = data_pkt();
   p.seq = 42;
-  q.push(std::move(p));
+  q.offer(std::move(p));
   EXPECT_EQ(q.front().seq, 42u);
   EXPECT_EQ(q.length(), 1u);
 }
 
 TEST(DropTailQueue, ZeroCapacityDropsEverything) {
   DropTailQueue q(QueueLimit::of(0));
-  EXPECT_FALSE(q.push(data_pkt()));
+  EXPECT_FALSE(q.offer(data_pkt()).accepted);
   EXPECT_EQ(q.counters().drops, 1u);
+}
+
+// The per-queue conservation invariant the audit leans on:
+//   arrivals == departures + drops + length()
+// and its byte-level twin, after an arbitrary offer/pop interleaving.
+TEST(DropTailQueue, CountersConserve) {
+  DropTailQueue q(QueueLimit::of(3));
+  std::uint64_t x = 999;
+  for (int i = 0; i < 500; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    if ((x >> 33) % 4 != 0) {
+      q.offer((x >> 34) % 2 == 0 ? data_pkt() : ack_pkt());
+    } else {
+      q.pop();
+    }
+    const QueueCounters& c = q.counters();
+    ASSERT_EQ(c.arrivals, c.departures + c.drops + q.length());
+    ASSERT_EQ(c.bytes_arrived,
+              c.bytes_departed + c.bytes_dropped + q.length_bytes());
+  }
 }
 
 // Property: after any interleaving of pushes and pops, length equals
@@ -107,7 +130,7 @@ TEST_P(QueueConservation, LengthAndBytesConsistent) {
   for (int i = 0; i < 1000; ++i) {
     x = x * 6364136223846793005ULL + 1442695040888963407ULL;
     if ((x >> 33) % 3 != 0) {
-      if (q.push(data_pkt(100))) ++accepted;
+      if (q.offer(data_pkt(100)).accepted) ++accepted;
     } else {
       if (q.pop().has_value()) ++popped;
     }

@@ -19,7 +19,7 @@ Packet pkt(std::uint32_t seq, PacketKind kind = PacketKind::kData) {
 
 TEST(RandomDrop, AdmitsArrivalWhenVictimIsQueued) {
   DropTailQueue q(QueueLimit::of(3), DropPolicy::kRandomDrop, 42);
-  for (std::uint32_t i = 0; i < 3; ++i) ASSERT_TRUE(q.push(pkt(i)));
+  for (std::uint32_t i = 0; i < 3; ++i) ASSERT_TRUE(q.offer(pkt(i)).accepted);
   // Offer packets into a full queue: every offer drops exactly one packet
   // (arrival or victim) and the queue stays at capacity.
   for (std::uint32_t i = 3; i < 40; ++i) {
@@ -32,7 +32,7 @@ TEST(RandomDrop, AdmitsArrivalWhenVictimIsQueued) {
 
 TEST(RandomDrop, SometimesDropsArrivalSometimesVictim) {
   DropTailQueue q(QueueLimit::of(5), DropPolicy::kRandomDrop, 7);
-  for (std::uint32_t i = 0; i < 5; ++i) ASSERT_TRUE(q.push(pkt(i)));
+  for (std::uint32_t i = 0; i < 5; ++i) ASSERT_TRUE(q.offer(pkt(i)).accepted);
   int arrival_dropped = 0, victim_dropped = 0;
   for (std::uint32_t i = 5; i < 200; ++i) {
     const EnqueueResult r = q.offer(pkt(i));
@@ -51,8 +51,8 @@ TEST(RandomDrop, SometimesDropsArrivalSometimesVictim) {
 
 TEST(RandomDrop, ProtectFrontSparesHead) {
   DropTailQueue q(QueueLimit::of(2), DropPolicy::kRandomDrop, 3);
-  ASSERT_TRUE(q.push(pkt(100)));
-  ASSERT_TRUE(q.push(pkt(101)));
+  ASSERT_TRUE(q.offer(pkt(100)).accepted);
+  ASSERT_TRUE(q.offer(pkt(101)).accepted);
   for (std::uint32_t i = 0; i < 100; ++i) {
     const EnqueueResult r = q.offer(pkt(i), /*protect_front=*/true);
     ASSERT_TRUE(r.dropped.has_value());
@@ -62,8 +62,8 @@ TEST(RandomDrop, ProtectFrontSparesHead) {
 
 TEST(RandomDrop, ByteAccountingAfterVictimRemoval) {
   DropTailQueue q(QueueLimit::of(2), DropPolicy::kRandomDrop, 9);
-  q.push(pkt(0));                    // 500 B data
-  q.push(pkt(1, PacketKind::kAck));  // 50 B ACK
+  q.offer(pkt(0));                    // 500 B data
+  q.offer(pkt(1, PacketKind::kAck));  // 50 B ACK
   // Churn a full queue with mixed sizes; the byte count must always equal
   // the sum of the occupants' sizes.
   for (std::uint32_t i = 2; i < 30; ++i) {
@@ -78,7 +78,7 @@ TEST(RandomDrop, ByteAccountingAfterVictimRemoval) {
 
 TEST(RandomDrop, DropTailPolicyUnchangedByDefault) {
   DropTailQueue q(QueueLimit::of(1));
-  ASSERT_TRUE(q.push(pkt(0)));
+  ASSERT_TRUE(q.offer(pkt(0)).accepted);
   const EnqueueResult r = q.offer(pkt(1));
   EXPECT_FALSE(r.accepted);
   ASSERT_TRUE(r.dropped.has_value());
@@ -98,6 +98,56 @@ TEST(RandomDrop, DeterministicPerSeed) {
   };
   EXPECT_EQ(run(5), run(5));
   EXPECT_NE(run(5), run(6));
+}
+
+// Regression test for the push() accounting bug: OutputPort::enqueue used to
+// route arrivals through a bool-returning push() that discarded
+// EnqueueResult::dropped, so a random-drop *victim* (arrival accepted, an
+// occupant evicted) never fired a drop event and never reached observers.
+// Every drop — victim or rejected arrival — must now surface exactly once,
+// with the victim flag telling the two cases apart.
+class RecordingObserver : public PacketObserver {
+ public:
+  struct Drop {
+    std::uint32_t seq;
+    bool was_queued;
+  };
+  void on_create(sim::Time, const Packet&) override {}
+  void on_enqueue(sim::Time, const OutputPort&, const Packet&) override {
+    ++enqueues;
+  }
+  void on_drop(sim::Time, const OutputPort&, const Packet& pkt,
+               bool was_queued) override {
+    drops.push_back({pkt.seq, was_queued});
+  }
+  void on_dequeue(sim::Time, const OutputPort&, const Packet&) override {}
+  void on_deliver(sim::Time, const Packet&) override {}
+  int enqueues = 0;
+  std::vector<Drop> drops;
+};
+
+TEST(RandomDropPort, VictimDropsReachHookAndObserver) {
+  sim::Simulator sim;
+  OutputPort port(sim, "p", 50'000, sim::Time::zero(), QueueLimit::of(3),
+                  DropPolicy::kRandomDrop, 7);
+  RecordingObserver obs;
+  port.set_observer(&obs);
+  int hook_drops = 0;
+  port.on_drop = [&](sim::Time, const Packet&) { ++hook_drops; };
+  const std::uint32_t kOffers = 60;
+  for (std::uint32_t i = 0; i < kOffers; ++i) port.enqueue(pkt(i));
+  // Queue holds 3, so every offer past capacity lost exactly one packet.
+  ASSERT_EQ(port.queue_length(), 3u);
+  EXPECT_EQ(hook_drops, static_cast<int>(kOffers - 3));
+  ASSERT_EQ(obs.drops.size(), kOffers - 3);
+  EXPECT_EQ(port.counters().drops, kOffers - 3);
+  // With seed 7 and 4 candidates per full-queue offer, both kinds occur.
+  int victims = 0, rejected = 0;
+  for (const auto& d : obs.drops) (d.was_queued ? victims : rejected)++;
+  EXPECT_GT(victims, 0) << "random-drop victims invisible again (push bug)";
+  EXPECT_GT(rejected, 0);
+  // Victim drops imply the arrival was admitted: enqueues = accepted offers.
+  EXPECT_EQ(obs.enqueues, 3 + victims);
 }
 
 TEST(RandomDropPort, DropHookSeesVictim) {

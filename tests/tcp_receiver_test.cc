@@ -148,6 +148,55 @@ TEST_F(ReceiverTest, DelayedAckTimerCancelledBySecondPacket) {
   EXPECT_EQ(acks_[0].second, 2u);
 }
 
+TEST_F(ReceiverTest, DelayedAckEverySecondPacketInSteadyStream) {
+  // Steady in-order stream: every second packet releases a combined ACK, so
+  // 6 packets yield exactly the 3 ACKs 2, 4, 6 and no timer ACKs later.
+  auto r = make(/*delayed=*/true);
+  for (std::uint32_t i = 0; i < 6; ++i) data(*r, i);
+  sim_.run_until(sim::Time::seconds(1.0));
+  ASSERT_EQ(acks_.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(acks_[i].second, 2 * (i + 1));
+  }
+  EXPECT_EQ(r->acks_sent(), 3u);
+}
+
+TEST_F(ReceiverTest, DelayedAckGapFillAcksImmediately) {
+  // An arrival that fills a reassembly gap must ACK at once (the sender is
+  // waiting to exit recovery), never sit behind the delay timer.
+  auto r = make(/*delayed=*/true);
+  data(*r, 0);
+  data(*r, 1);  // combined ACK 2
+  ASSERT_EQ(acks_.size(), 1u);
+  data(*r, 3);  // out of order: immediate dup ACK 2
+  ASSERT_EQ(acks_.size(), 2u);
+  EXPECT_EQ(acks_[1].second, 2u);
+  data(*r, 2);  // fills the gap: must immediately ACK 4, not wait 200 ms
+  ASSERT_EQ(acks_.size(), 3u);
+  EXPECT_EQ(acks_[2].second, 4u);
+  sim_.run_until(sim::Time::seconds(1.0));
+  EXPECT_EQ(acks_.size(), 3u);  // and the timer adds nothing afterwards
+}
+
+TEST_F(ReceiverTest, DelayedAckPendingTimerNotStretchedByLaterPacket) {
+  // The delay window is anchored at the packet that armed the timer. A
+  // first packet at t=0 is ACKed by the timer at 200 ms; a second packet at
+  // 250 ms arms a fresh timer and is ACKed at exactly 450 ms — the second
+  // arrival must neither be ACKed by the first timer nor push its own ACK
+  // past one full delay from its arrival.
+  auto r = make(/*delayed=*/true);
+  data(*r, 0);
+  sim_.run_until(sim::Time::milliseconds(250));
+  ASSERT_EQ(acks_.size(), 1u);
+  EXPECT_EQ(acks_[0].first, sim::Time::milliseconds(200));
+  EXPECT_EQ(acks_[0].second, 1u);
+  data(*r, 1);
+  sim_.run_until(sim::Time::seconds(1.0));
+  ASSERT_EQ(acks_.size(), 2u);
+  EXPECT_EQ(acks_[1].first, sim::Time::milliseconds(450));
+  EXPECT_EQ(acks_[1].second, 2u);
+}
+
 TEST_F(ReceiverTest, AckPacketFields) {
   ReceiverParams p = params();
   p.ack_bytes = 42;

@@ -285,6 +285,28 @@ TEST_F(SenderTest, MaxwndCapsWindow) {
   EXPECT_EQ(sent_.size(), 4u);
 }
 
+// Regression: cwnd_ used to keep growing past maxwnd during loss-free
+// stretches (window() hid the excess), so a later loss halved the runaway
+// accumulator instead of the effective window and ssthresh came out larger
+// than maxwnd/2 + 1 — the post-loss recovery target depended on how long
+// the connection had been loss-free.
+TEST_F(SenderTest, CwndClampedAtMaxwndSoSsthreshHalvesEffectiveWindow) {
+  SenderParams p = params();
+  p.maxwnd = 8;
+  TahoeParams tp;
+  tp.initial_cwnd = 8.0;
+  tp.initial_ssthresh = 4;  // congestion avoidance from the start
+  TahoeSender s(sim_, net_.host(h1_), p, tp);
+  attach(s);
+  // 100 ACKs of new data: without the clamp cwnd_ would reach ~20.
+  for (std::uint32_t i = 1; i <= 100; ++i) ack(s, i);
+  EXPECT_DOUBLE_EQ(s.cwnd(), 8.0);
+  EXPECT_EQ(s.window(), 8u);
+  for (int i = 0; i < 3; ++i) ack(s, 100);  // dup-ack loss
+  EXPECT_EQ(s.ssthresh(), 4u);  // max(min(8/2, maxwnd), 2), not ~10
+  EXPECT_DOUBLE_EQ(s.cwnd(), 1.0);
+}
+
 TEST_F(SenderTest, FixedWindowNeverAdjusts) {
   FixedWindowSender s(sim_, net_.host(h1_), params(), 5);
   attach(s);

@@ -79,6 +79,37 @@ TEST(Pearson, DegenerateInputsReturnZero) {
   EXPECT_DOUBLE_EQ(pearson({}, {}), 0.0);
 }
 
+TEST(PearsonChecked, DistinguishesDegenerateFromUncorrelated) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> flat{5.0, 5.0, 5.0};
+  // A constant series has no variance: rho 0 is "no signal", and the flag
+  // says so — unlike a genuinely uncorrelated pair, where rho 0 is a result.
+  const Correlation degen = pearson_checked(a, flat);
+  EXPECT_TRUE(degen.degenerate);
+  EXPECT_DOUBLE_EQ(degen.rho, 0.0);
+  const std::vector<double> x{1.0, -1.0, 1.0, -1.0};
+  const std::vector<double> y{1.0, 1.0, -1.0, -1.0};
+  const Correlation ortho = pearson_checked(x, y);
+  EXPECT_FALSE(ortho.degenerate);
+  EXPECT_NEAR(ortho.rho, 0.0, 1e-12);
+}
+
+TEST(PearsonChecked, SizeMismatchAndEmptyAreDegenerate) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> shorter{1.0, 2.0};
+  EXPECT_TRUE(pearson_checked(a, shorter).degenerate);
+  EXPECT_TRUE(pearson_checked({}, {}).degenerate);
+}
+
+TEST(PearsonChecked, AgreesWithPearsonOnHealthyInput) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b{2.0, 4.0, 6.0, 8.0};
+  const Correlation c = pearson_checked(a, b);
+  EXPECT_FALSE(c.degenerate);
+  EXPECT_NEAR(c.rho, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(c.rho, pearson(a, b));
+}
+
 TEST(Pearson, IndependentSeriesNearZero) {
   // Orthogonal-by-construction series.
   const std::vector<double> a{1.0, -1.0, 1.0, -1.0};

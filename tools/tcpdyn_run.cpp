@@ -20,6 +20,9 @@
 //   --duration   measured seconds [scenario default]
 //   --chart      print ASCII queue charts
 //   --csv-dir    export raw traces as CSV into this directory
+//   --audit      off|counters|full — conservation-check strength
+//                [full in Debug builds, counters otherwise]
+//   --trace      write a JSONL event trace (see DESIGN.md) to this file
 #include <filesystem>
 #include <iostream>
 
@@ -121,6 +124,18 @@ int main(int argc, char** argv) {
   if (flags.has("duration")) {
     scenario.duration =
         sim::Time::seconds(flags.get_double("duration", 400.0));
+  }
+  if (flags.has("audit")) {
+    const auto mode = core::parse_audit_mode(flags.get("audit"));
+    if (!mode) {
+      return usage(("unknown --audit mode '" + flags.get("audit") +
+                    "' (off|counters|full)")
+                       .c_str());
+    }
+    scenario.exp->set_audit_mode(*mode);
+  }
+  if (flags.has("trace")) {
+    scenario.exp->enable_trace(flags.get("trace"));
   }
 
   const std::string name = scenario.name;

@@ -25,11 +25,16 @@
 //               scenario parameters
 //   --progress  log per-point progress and ETA to stderr
 //   --quiet     suppress the human-readable summary table on stdout
+//   --audit     off|counters|full — conservation-check strength per point
+//               [full in Debug builds, counters otherwise]
+//   --trace     JSONL event-trace path prefix; point N writes
+//               PREFIX.pointN.jsonl (see DESIGN.md for the schema)
 //
 // Determinism: output depends only on (scenario, grid, seed) — never on
 // --jobs. CI diffs --jobs 1 against --jobs 4 byte-for-byte on every push.
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "core/report.h"
@@ -146,6 +151,16 @@ int main(int argc, char** argv) {
     util::set_log_level(util::LogLevel::kInfo);
   }
 
+  std::optional<core::AuditMode> audit_mode;
+  if (flags.has("audit")) {
+    audit_mode = core::parse_audit_mode(flags.get("audit"));
+    if (!audit_mode) {
+      return usage("unknown --audit mode '" + flags.get("audit") +
+                   "' (off|counters|full)");
+    }
+  }
+  const std::string trace_prefix = flags.get("trace", "");
+
   core::SweepRunner runner(std::move(grid), opts);
   core::SweepTable table;
   try {
@@ -156,6 +171,11 @@ int main(int argc, char** argv) {
       }
       if (flags.has("duration")) {
         sc.duration = sim::Time::seconds(flags.get_double("duration", 400.0));
+      }
+      if (audit_mode) sc.exp->set_audit_mode(*audit_mode);
+      if (!trace_prefix.empty()) {
+        sc.exp->enable_trace(trace_prefix + ".point" +
+                             std::to_string(pt.index) + ".jsonl");
       }
       core::ScenarioSummary s = core::run_scenario(sc);
       return core::summary_row(pt, s);
