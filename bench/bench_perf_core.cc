@@ -3,8 +3,9 @@
 // Runs a fixed set of workloads spanning the hot path at three altitudes —
 // scheduler micro (schedule/cancel/dispatch), queue micro (ring push/pop and
 // random-drop victim erase), the paper's Fig-2 and Fig-6 scenarios
-// end-to-end, and a 16-point Fig-4 sweep — and reports events/sec,
-// packets/sec, wall time, and peak RSS as JSON.
+// end-to-end, a 512-flow parking-lot macro run (the Topology layer at
+// scale), and a 16-point Fig-4 sweep — and reports events/sec, packets/sec,
+// wall time, and peak RSS as JSON.
 //
 //   bench_perf_core --out BENCH_core.json              # measure
 //   bench_perf_core --baseline BENCH_core.json         # measure + gate
@@ -39,6 +40,7 @@
 
 #include "core/scenarios.h"
 #include "core/sweep.h"
+#include "core/topo_scenarios.h"
 #include "net/queue.h"
 #include "sim/simulator.h"
 #include "util/flags.h"
@@ -334,6 +336,20 @@ int main(int argc, char** argv) {
       return r;
     }));
   }
+  results.push_back(best_of(reps, [&] {
+    // The Topology/TrafficMatrix layer at scale: 512 concurrent Tahoe flows
+    // over the 4-hop parking-lot grid. Scenario construction (Dijkstra
+    // compile + flow instantiation) is inside the timed region on purpose —
+    // it is part of what the API costs at this flow count.
+    const double t0 = now_sec();
+    core::ParkingLotParams p;
+    core::Scenario sc = core::parking_lot_scenario(p);
+    sc.warmup = sim::Time::seconds(10.0 * scale);
+    sc.duration = sim::Time::seconds(30.0 * scale);
+    WorkloadResult r = run_scenario_workload("topo512", std::move(sc));
+    r.wall_sec = now_sec() - t0;
+    return r;
+  }));
   results.push_back(run_sweep16(scale, jobs));
 
   const std::string out = flags.get("out", "-");

@@ -249,6 +249,35 @@ std::optional<double> cwnd_growth_exponent(const util::TimeSeries& cwnd,
   return sxy / sxx;
 }
 
+double jain_fairness(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (const double x : values) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+FlowSummary summarize_flows(const ExperimentResult& result) {
+  FlowSummary fs;
+  const double window = result.t_end - result.t_start;
+  if (window <= 0.0) return fs;
+  std::vector<double> goodputs;
+  goodputs.reserve(result.delivered.size());
+  for (const auto& [conn, packets] : result.delivered) {
+    goodputs.push_back(static_cast<double>(packets) / window);
+  }
+  fs.flows = goodputs.size();
+  if (goodputs.empty()) return fs;
+  fs.goodput_min = *std::min_element(goodputs.begin(), goodputs.end());
+  fs.goodput_max = *std::max_element(goodputs.begin(), goodputs.end());
+  fs.goodput_mean = util::mean(goodputs);
+  fs.jain = jain_fairness(goodputs);
+  return fs;
+}
+
 double expected_drops_per_epoch(std::size_t tahoe_connections) {
   return static_cast<double>(tahoe_connections);
 }

@@ -177,6 +177,27 @@ std::optional<double> cwnd_growth_exponent(const util::TimeSeries& cwnd,
                                            double from, double to,
                                            double dt = 0.1);
 
+// ------------------------------------------------------------ flow summary
+
+// Per-flow goodput distribution over the measurement window, for runs with
+// many concurrent connections (the Topology scenarios). Goodputs are
+// in-order delivered packets per second, one value per connection.
+struct FlowSummary {
+  std::size_t flows = 0;
+  double goodput_min = 0.0;   // packets/sec
+  double goodput_mean = 0.0;
+  double goodput_max = 0.0;
+  // Jain's fairness index (sum x)^2 / (n * sum x^2): 1 when every flow gets
+  // an equal share, -> 1/n when one flow takes everything. 0 when all
+  // goodputs are zero (undefined).
+  double jain = 0.0;
+};
+
+double jain_fairness(std::span<const double> values);
+
+// Summarizes ExperimentResult::delivered over [result.t_start, result.t_end].
+FlowSummary summarize_flows(const ExperimentResult& result);
+
 // ------------------------------------------------------------ acceleration
 
 // Total acceleration of a set of Tahoe connections in congestion avoidance

@@ -4,25 +4,35 @@
 
 namespace tcpdyn::core {
 
-ChainHandles build_chain(Experiment& exp, const ChainParams& p) {
-  auto& net = exp.network();
-  ChainHandles h;
+Topology chain_topology(const ChainParams& p) {
+  Topology t;
+  std::vector<std::size_t> switches, hosts;
   for (std::size_t i = 0; i < p.switches; ++i) {
-    h.switches.push_back(net.add_switch("S" + std::to_string(i + 1)));
-    h.hosts.push_back(net.add_host("H" + std::to_string(i + 1)));
+    switches.push_back(t.add_switch("S" + std::to_string(i + 1)));
+    hosts.push_back(t.add_host("H" + std::to_string(i + 1)));
   }
   for (std::size_t i = 0; i < p.switches; ++i) {
-    net.connect(h.hosts[i], h.switches[i], p.access_bps, p.access_delay,
-                p.access_buffer, p.access_buffer);
+    t.add_link(hosts[i], switches[i], p.access_bps, p.access_delay,
+               p.access_buffer);
     if (i + 1 < p.switches) {
-      net.connect(h.switches[i], h.switches[i + 1], p.trunk_bps,
-                  p.trunk_delay, p.trunk_buffer, p.trunk_buffer);
+      t.add_link(switches[i], switches[i + 1], p.trunk_bps, p.trunk_delay,
+                 p.trunk_buffer);
     }
   }
-  net.compute_routes();
   for (std::size_t i = 0; i + 1 < p.switches; ++i) {
-    exp.monitor(h.switches[i], h.switches[i + 1]);
-    exp.monitor(h.switches[i + 1], h.switches[i]);
+    t.monitor(switches[i], switches[i + 1]);
+    t.monitor(switches[i + 1], switches[i]);
+  }
+  return t;
+}
+
+ChainHandles build_chain(Experiment& exp, const ChainParams& p) {
+  const CompiledTopology c = chain_topology(p).compile(exp);
+  ChainHandles h;
+  for (std::size_t i = 0; i < p.switches; ++i) {
+    const std::string n = std::to_string(i + 1);
+    h.switches.push_back(c.id("S" + n));
+    h.hosts.push_back(c.id("H" + n));
   }
   return h;
 }
@@ -30,21 +40,25 @@ ChainHandles build_chain(Experiment& exp, const ChainParams& p) {
 void add_chain_connections(Experiment& exp, const ChainHandles& h,
                            std::size_t count, std::uint64_t seed,
                            sim::Time start_spread) {
+  // One shared RNG stream, drawn in the historic per-flow order (endpoint,
+  // direction, start jitter), then handed to the TrafficMatrix as fully
+  // resolved single-flow specs so instantiation adds no extra draws.
   util::Rng rng(seed);
   const std::size_t n = h.hosts.size();
+  TrafficMatrix traffic;
   for (std::size_t i = 0; i < count; ++i) {
     // Path length cycles 1, 2, ..., n-1 so lengths are equally represented.
     const std::size_t hops = 1 + i % (n - 1);
     const std::size_t src = rng.next_below(n - hops);
     const std::size_t dst = src + hops;
     const bool forward = rng.next_double() < 0.5;
-    tcp::ConnectionConfig cfg;
-    cfg.id = static_cast<net::ConnId>(i);
-    cfg.src_host = forward ? h.hosts[src] : h.hosts[dst];
-    cfg.dst_host = forward ? h.hosts[dst] : h.hosts[src];
-    cfg.start_time = sim::Time::seconds(rng.uniform(0.0, start_spread.sec()));
-    exp.add_connection(cfg);
+    ConnSpec c;
+    c.src_id = forward ? h.hosts[src] : h.hosts[dst];
+    c.dst_id = forward ? h.hosts[dst] : h.hosts[src];
+    c.start_time = sim::Time::seconds(rng.uniform(0.0, start_spread.sec()));
+    traffic.add(std::move(c));
   }
+  traffic.instantiate(exp);
 }
 
 }  // namespace tcpdyn::core

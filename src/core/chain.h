@@ -2,13 +2,16 @@
 // per switch, with a traffic pattern of many connections whose paths span
 // 1..N-1 inter-switch hops. Used to show that ACK-compression and
 // out-of-phase synchronization persist beyond the single-bottleneck case.
+// A thin adapter over core::Topology: declaration order matches the historic
+// hand-rolled builder, so compiled networks are identical.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "core/conn_spec.h"
 #include "core/experiment.h"
-#include "tcp/connection.h"
+#include "core/topology.h"
 #include "util/rng.h"
 
 namespace tcpdyn::core {
@@ -28,6 +31,11 @@ struct ChainHandles {
   std::vector<net::NodeId> switches;
 };
 
+// The chain as a declarative Topology (switches S1..SN, hosts H1..HN, every
+// inter-switch transmit port monitored in both directions), for callers that
+// want to extend the graph before compiling.
+Topology chain_topology(const ChainParams& params);
+
 // Builds the chain, computes routes, and monitors every inter-switch port
 // (both directions): ExperimentResult ports are ordered
 // S1->S2, S2->S1, S2->S3, S3->S2, ...
@@ -36,7 +44,8 @@ ChainHandles build_chain(Experiment& exp, const ChainParams& params);
 // Generates `count` Tahoe connections whose inter-switch path lengths cycle
 // through 1..switches-1 ("roughly equally split between 1, 2, and 3 hops"
 // for a 4-switch chain). Endpoints and direction chosen deterministically
-// from `seed`; start times jittered within [0, start_spread).
+// from `seed`; start times jittered within [0, start_spread). Expands to a
+// TrafficMatrix of per-flow ConnSpecs under the hood.
 void add_chain_connections(Experiment& exp, const ChainHandles& handles,
                            std::size_t count, std::uint64_t seed,
                            sim::Time start_spread = sim::Time::seconds(1.0));

@@ -1,0 +1,69 @@
+// ConnSpec: the one flow specification shared by every scenario-building
+// layer. The dumbbell builder, the chain builder, and the Topology traffic
+// matrix all consume the same struct, so a connection configured for one
+// topology can be moved to another without translation. A spec can also
+// describe a *schedule* of several identical flows (`count` > 1) whose start
+// times are jittered from the spec's own seeded RNG stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tcp/connection.h"
+
+namespace tcpdyn::core {
+
+struct ConnSpec {
+  // --- endpoints -------------------------------------------------------
+  // Topology traffic addresses endpoints by node name, resolved when the
+  // matrix is instantiated against a compiled topology. Builders that
+  // already hold NodeIds set src_id/dst_id instead (ids win over names).
+  // The dumbbell adapter keeps the legacy `forward` shorthand for specs
+  // that set neither: data flows Host-1 -> Host-2 when true.
+  std::string src;
+  std::string dst;
+  net::NodeId src_id = net::kInvalidNode;
+  net::NodeId dst_id = net::kInvalidNode;
+  bool forward = true;
+
+  // --- per-connection knobs (the former DumbbellConn fields) -----------
+  tcp::SenderKind kind = tcp::SenderKind::kTahoe;
+  std::uint32_t fixed_window = 10;
+  bool delayed_ack = false;
+  std::uint32_t maxwnd = 1000;
+  std::uint32_t data_bytes = 500;
+  std::uint32_t ack_bytes = 50;
+  sim::Time pacing_interval = sim::Time::zero();
+  sim::Time start_time = sim::Time::zero();
+  sim::Time stop_time = sim::Time::zero();  // zero = transmit forever
+  tcp::TahoeParams tahoe;  // only for kTahoe
+  tcp::RenoParams reno;    // only for kReno
+
+  // --- flow schedule (TrafficMatrix only) ------------------------------
+  // The spec expands to `count` flows; flow j starts at start_time plus a
+  // uniform draw from [0, start_spread) taken from Rng(seed), so adding or
+  // reordering other specs never perturbs this spec's start times.
+  std::size_t count = 1;
+  sim::Time start_spread = sim::Time::zero();
+  std::uint64_t seed = 0;
+
+  // Copies the per-connection knobs (not endpoints or schedule) onto a
+  // ConnectionConfig.
+  tcp::ConnectionConfig to_config() const {
+    tcp::ConnectionConfig cfg;
+    cfg.kind = kind;
+    cfg.fixed_window = fixed_window;
+    cfg.data_bytes = data_bytes;
+    cfg.ack_bytes = ack_bytes;
+    cfg.maxwnd = maxwnd;
+    cfg.delayed_ack = delayed_ack;
+    cfg.pacing_interval = pacing_interval;
+    cfg.start_time = start_time;
+    cfg.stop_time = stop_time;
+    cfg.tahoe = tahoe;
+    cfg.reno = reno;
+    return cfg;
+  }
+};
+
+}  // namespace tcpdyn::core

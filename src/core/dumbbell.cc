@@ -2,71 +2,87 @@
 
 namespace tcpdyn::core {
 
+Topology dumbbell_topology(const DumbbellParams& p) {
+  Topology t;
+  const std::size_t h1 = t.add_host("H1");
+  const std::size_t h2 = t.add_host("H2");
+  const std::size_t s1 = t.add_switch("S1");
+  const std::size_t s2 = t.add_switch("S2");
+  t.add_link(h1, s1, p.access_bps, p.access_delay, p.access_buffer);
+  LinkSpec bottleneck;
+  bottleneck.a = s1;
+  bottleneck.b = s2;
+  bottleneck.bits_per_second = p.bottleneck_bps;
+  bottleneck.delay = p.tau;
+  bottleneck.buffer_ab = p.buffer_fwd;
+  bottleneck.buffer_ba = p.buffer_rev;
+  bottleneck.policy = p.bottleneck_policy;
+  t.add_link(bottleneck);
+  t.add_link(s2, h2, p.access_bps, p.access_delay, p.access_buffer);
+  t.monitor(s1, s2);
+  t.monitor(s2, s1);
+  return t;
+}
+
 DumbbellHandles build_dumbbell(Experiment& exp, const DumbbellParams& p) {
-  auto& net = exp.network();
+  const CompiledTopology c = dumbbell_topology(p).compile(exp);
   DumbbellHandles h;
-  h.host1 = net.add_host("H1");
-  h.host2 = net.add_host("H2");
-  h.switch1 = net.add_switch("S1");
-  h.switch2 = net.add_switch("S2");
-  net.connect(h.host1, h.switch1, p.access_bps, p.access_delay,
-              p.access_buffer, p.access_buffer);
-  net.connect(h.switch1, h.switch2, p.bottleneck_bps, p.tau, p.buffer_fwd,
-              p.buffer_rev, p.bottleneck_policy);
-  net.connect(h.switch2, h.host2, p.access_bps, p.access_delay,
-              p.access_buffer, p.access_buffer);
-  net.compute_routes();
-  exp.monitor(h.switch1, h.switch2);
-  exp.monitor(h.switch2, h.switch1);
+  h.host1 = c.id("H1");
+  h.host2 = c.id("H2");
+  h.switch1 = c.id("S1");
+  h.switch2 = c.id("S2");
   return h;
 }
 
 MultiHostHandles build_multihost_dumbbell(
     Experiment& exp, const DumbbellParams& p,
     const std::vector<sim::Time>& access_delays) {
-  auto& net = exp.network();
-  MultiHostHandles h;
-  h.switch1 = net.add_switch("S1");
-  h.switch2 = net.add_switch("S2");
-  net.connect(h.switch1, h.switch2, p.bottleneck_bps, p.tau, p.buffer_fwd,
-              p.buffer_rev, p.bottleneck_policy);
+  Topology t;
+  const std::size_t s1 = t.add_switch("S1");
+  const std::size_t s2 = t.add_switch("S2");
+  LinkSpec bottleneck;
+  bottleneck.a = s1;
+  bottleneck.b = s2;
+  bottleneck.bits_per_second = p.bottleneck_bps;
+  bottleneck.delay = p.tau;
+  bottleneck.buffer_ab = p.buffer_fwd;
+  bottleneck.buffer_ba = p.buffer_rev;
+  bottleneck.policy = p.bottleneck_policy;
+  t.add_link(bottleneck);
+  std::vector<std::string> sources, sinks;
   for (std::size_t i = 0; i < access_delays.size(); ++i) {
     const std::string n = std::to_string(i + 1);
-    const net::NodeId src = net.add_host("A" + n);
-    const net::NodeId dst = net.add_host("B" + n);
-    net.connect(src, h.switch1, p.access_bps, access_delays[i],
-                p.access_buffer, p.access_buffer);
-    net.connect(h.switch2, dst, p.access_bps, access_delays[i],
-                p.access_buffer, p.access_buffer);
-    h.sources.push_back(src);
-    h.sinks.push_back(dst);
+    const std::size_t src = t.add_host("A" + n);
+    const std::size_t dst = t.add_host("B" + n);
+    t.add_link(src, s1, p.access_bps, access_delays[i], p.access_buffer);
+    t.add_link(s2, dst, p.access_bps, access_delays[i], p.access_buffer);
+    sources.push_back("A" + n);
+    sinks.push_back("B" + n);
   }
-  net.compute_routes();
-  exp.monitor(h.switch1, h.switch2);
-  exp.monitor(h.switch2, h.switch1);
+  t.monitor(s1, s2);
+  t.monitor(s2, s1);
+  const CompiledTopology c = t.compile(exp);
+  MultiHostHandles h;
+  h.switch1 = c.id("S1");
+  h.switch2 = c.id("S2");
+  for (std::size_t i = 0; i < access_delays.size(); ++i) {
+    h.sources.push_back(c.id(sources[i]));
+    h.sinks.push_back(c.id(sinks[i]));
+  }
   return h;
 }
 
 void add_dumbbell_connections(Experiment& exp, const DumbbellHandles& h,
-                              const std::vector<DumbbellConn>& conns) {
-  net::ConnId id = 0;
-  for (const auto& c : conns) {
-    tcp::ConnectionConfig cfg;
-    cfg.id = id++;
-    cfg.src_host = c.forward ? h.host1 : h.host2;
-    cfg.dst_host = c.forward ? h.host2 : h.host1;
-    cfg.kind = c.kind;
-    cfg.fixed_window = c.fixed_window;
-    cfg.data_bytes = c.data_bytes;
-    cfg.ack_bytes = c.ack_bytes;
-    cfg.maxwnd = c.maxwnd;
-    cfg.delayed_ack = c.delayed_ack;
-    cfg.pacing_interval = c.pacing_interval;
-    cfg.start_time = c.start_time;
-    cfg.tahoe = c.tahoe;
-    cfg.reno = c.reno;
-    exp.add_connection(cfg);
+                              const std::vector<ConnSpec>& conns) {
+  TrafficMatrix traffic;
+  for (ConnSpec c : conns) {
+    if (c.src_id == net::kInvalidNode && c.src.empty()) {
+      c.src_id = c.forward ? h.host1 : h.host2;
+      c.dst_id = c.forward ? h.host2 : h.host1;
+    }
+    traffic.add(std::move(c));
   }
+  traffic.instantiate(exp);
 }
 
 }  // namespace tcpdyn::core

@@ -1,14 +1,17 @@
 // The paper's Figure 1 topology: Host-1 — Switch-1 ==bottleneck== Switch-2 —
 // Host-2, with parameters defaulted to §2.2 (50 Kbps bottleneck, 10 Mbps
 // access links with 0.1 ms delay, 0.1 ms host processing, 500 B data / 50 B
-// ACK packets, 20-packet buffers).
+// ACK packets, 20-packet buffers). A thin adapter over core::Topology: the
+// declaration order matches the historic hand-rolled builder, so compiled
+// networks (node ids, port seeds, routes) are identical.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "core/conn_spec.h"
 #include "core/experiment.h"
-#include "tcp/connection.h"
+#include "core/topology.h"
 
 namespace tcpdyn::core {
 
@@ -35,29 +38,25 @@ struct DumbbellHandles {
   net::NodeId host1 = 0, host2 = 0, switch1 = 0, switch2 = 0;
 };
 
+// The dumbbell as a declarative Topology (nodes H1, H2, S1, S2; both
+// bottleneck transmit ports monitored), for callers that want to extend the
+// graph before compiling.
+Topology dumbbell_topology(const DumbbellParams& params);
+
 // Builds the topology inside `exp`, computes routes, and monitors the two
 // bottleneck transmit ports (port 0: S1->S2 "forward", port 1: S2->S1
 // "reverse" in the ExperimentResult).
 DumbbellHandles build_dumbbell(Experiment& exp, const DumbbellParams& params);
 
-// Specification of one connection on the dumbbell.
-struct DumbbellConn {
-  bool forward = true;  // data flows Host-1 -> Host-2
-  tcp::SenderKind kind = tcp::SenderKind::kTahoe;
-  std::uint32_t fixed_window = 10;
-  bool delayed_ack = false;
-  std::uint32_t maxwnd = 1000;
-  std::uint32_t data_bytes = 500;
-  std::uint32_t ack_bytes = 50;
-  sim::Time pacing_interval = sim::Time::zero();
-  sim::Time start_time = sim::Time::zero();
-  tcp::TahoeParams tahoe;  // only for kTahoe
-  tcp::RenoParams reno;    // only for kReno
-};
+// Deprecated alias: the per-connection fields moved to the shared
+// core::ConnSpec (core/conn_spec.h), which dumbbell, chain, and Topology
+// traffic matrices all consume.
+using DumbbellConn [[deprecated("use core::ConnSpec")]] = ConnSpec;
 
-// Adds connections with ids 0..n-1 in order.
+// Adds connections with ids 0..n-1 in order. Specs that leave src/dst unset
+// use the `forward` shorthand (true: Host-1 -> Host-2).
 void add_dumbbell_connections(Experiment& exp, const DumbbellHandles& handles,
-                              const std::vector<DumbbellConn>& conns);
+                              const std::vector<ConnSpec>& conns);
 
 // RTT-heterogeneous variant for the §5 clustering-breakdown claim: one
 // source host per connection attached to switch 1 (each with its own access

@@ -59,6 +59,13 @@ void print_summary(std::ostream& os, const std::string& name,
   if (s.period_fwd) {
     t.add_row({"fwd queue oscillation period", fmt(*s.period_fwd, 1) + "s"});
   }
+  if (s.flows.flows > 2) {
+    t.add_row({"flows", std::to_string(s.flows.flows)});
+    t.add_row({"flow goodput min/mean/max (pkt/s)",
+               fmt(s.flows.goodput_min) + " / " + fmt(s.flows.goodput_mean) +
+                   " / " + fmt(s.flows.goodput_max)});
+    t.add_row({"Jain fairness", fmt(s.flows.jain)});
+  }
   if (s.result.audit.created > 0) {
     const AuditTotals& a = s.result.audit;
     t.add_row({"conservation",

@@ -21,7 +21,7 @@ std::vector<sim::Time> start_times(std::size_t n, std::uint64_t seed,
 }
 
 Scenario make_dumbbell_scenario(std::string name, const DumbbellParams& params,
-                                std::vector<DumbbellConn> conns,
+                                std::vector<ConnSpec> conns,
                                 sim::Time warmup, sim::Time duration,
                                 double epoch_gap, std::uint64_t seed = 42) {
   Scenario s;
@@ -75,6 +75,7 @@ ScenarioSummary run_scenario(Scenario& scenario) {
     s.cwnd_sync = classify_sync(a, b, from, to, /*dt=*/0.25);
   }
   s.epochs = analyze_epochs(r.drops, from, to, scenario.epoch_gap_sec);
+  s.flows = summarize_flows(r);
   for (const auto& [conn, times] : r.ack_arrivals) {
     s.ack[conn] = ack_compression(times, from, to, r.data_tx_time);
   }
@@ -86,7 +87,7 @@ Scenario fig2_one_way(std::size_t conns, double tau_sec, std::size_t buffer) {
   p.tau = sim::Time::seconds(tau_sec);
   p.buffer_fwd = net::QueueLimit::of(buffer);
   p.buffer_rev = net::QueueLimit::of(buffer);
-  std::vector<DumbbellConn> cs(conns);  // all forward, all Tahoe (defaults)
+  std::vector<ConnSpec> cs(conns);  // all forward, all Tahoe (defaults)
   const bool long_cycle = tau_sec >= 0.5;
   return make_dumbbell_scenario(
       "fig2-one-way", p, std::move(cs),
@@ -100,9 +101,9 @@ Scenario fig3_ten_connections(std::size_t buffer, std::size_t per_direction) {
   p.tau = sim::Time::seconds(0.01);
   p.buffer_fwd = net::QueueLimit::of(buffer);
   p.buffer_rev = net::QueueLimit::of(buffer);
-  std::vector<DumbbellConn> cs;
+  std::vector<ConnSpec> cs;
   for (std::size_t i = 0; i < 2 * per_direction; ++i) {
-    DumbbellConn c;
+    ConnSpec c;
     c.forward = i < per_direction;
     cs.push_back(c);
   }
@@ -117,7 +118,7 @@ Scenario fig4_twoway(double tau_sec, std::size_t buffer) {
   p.tau = sim::Time::seconds(tau_sec);
   p.buffer_fwd = net::QueueLimit::of(buffer);
   p.buffer_rev = net::QueueLimit::of(buffer);
-  std::vector<DumbbellConn> cs(2);
+  std::vector<ConnSpec> cs(2);
   cs[0].forward = true;
   cs[1].forward = false;
   return make_dumbbell_scenario("fig4-5-twoway-small-pipe", p, std::move(cs),
@@ -131,7 +132,7 @@ Scenario fig6_twoway(double tau_sec, std::size_t buffer) {
   p.tau = sim::Time::seconds(tau_sec);
   p.buffer_fwd = net::QueueLimit::of(buffer);
   p.buffer_rev = net::QueueLimit::of(buffer);
-  std::vector<DumbbellConn> cs(2);
+  std::vector<ConnSpec> cs(2);
   cs[0].forward = true;
   cs[1].forward = false;
   Scenario s = make_dumbbell_scenario("fig6-7-twoway-large-pipe", p,
@@ -147,7 +148,7 @@ Scenario fig8_fixed_window(double tau_sec, std::uint32_t w1,
   p.tau = sim::Time::seconds(tau_sec);
   p.buffer_fwd = net::QueueLimit::infinite();
   p.buffer_rev = net::QueueLimit::infinite();
-  std::vector<DumbbellConn> cs(2);
+  std::vector<ConnSpec> cs(2);
   cs[0].forward = true;
   cs[0].kind = tcp::SenderKind::kFixedWindow;
   cs[0].fixed_window = w1;
@@ -165,7 +166,7 @@ Scenario zero_ack_fixed(std::uint32_t w1, std::uint32_t w2, double tau_sec) {
   p.tau = sim::Time::seconds(tau_sec);
   p.buffer_fwd = net::QueueLimit::infinite();
   p.buffer_rev = net::QueueLimit::infinite();
-  std::vector<DumbbellConn> cs(2);
+  std::vector<ConnSpec> cs(2);
   cs[0].forward = true;
   cs[0].kind = tcp::SenderKind::kFixedWindow;
   cs[0].fixed_window = w1;
@@ -186,7 +187,7 @@ Scenario delayed_ack_twoway(std::uint32_t maxwnd, double tau_sec,
   p.tau = sim::Time::seconds(tau_sec);
   p.buffer_fwd = net::QueueLimit::of(buffer);
   p.buffer_rev = net::QueueLimit::of(buffer);
-  std::vector<DumbbellConn> cs(2);
+  std::vector<ConnSpec> cs(2);
   cs[0].forward = true;
   cs[1].forward = false;
   for (auto& c : cs) {
@@ -218,7 +219,7 @@ Scenario paced_twoway(double tau_sec, std::size_t buffer) {
   p.tau = sim::Time::seconds(tau_sec);
   p.buffer_fwd = net::QueueLimit::of(buffer);
   p.buffer_rev = net::QueueLimit::of(buffer);
-  std::vector<DumbbellConn> cs(2);
+  std::vector<ConnSpec> cs(2);
   cs[0].forward = true;
   cs[1].forward = false;
   // Pace at the bottleneck data rate: one 500 B packet per 80 ms.
@@ -236,7 +237,7 @@ Scenario reno_twoway(double tau_sec, std::size_t buffer) {
   p.tau = sim::Time::seconds(tau_sec);
   p.buffer_fwd = net::QueueLimit::of(buffer);
   p.buffer_rev = net::QueueLimit::of(buffer);
-  std::vector<DumbbellConn> cs(2);
+  std::vector<ConnSpec> cs(2);
   cs[0].forward = true;
   cs[1].forward = false;
   for (auto& c : cs) c.kind = tcp::SenderKind::kReno;
@@ -252,7 +253,7 @@ Scenario random_drop_twoway(double tau_sec, std::size_t buffer) {
   p.buffer_fwd = net::QueueLimit::of(buffer);
   p.buffer_rev = net::QueueLimit::of(buffer);
   p.bottleneck_policy = net::DropPolicy::kRandomDrop;
-  std::vector<DumbbellConn> cs(2);
+  std::vector<ConnSpec> cs(2);
   cs[0].forward = true;
   cs[1].forward = false;
   return make_dumbbell_scenario("random-drop-twoway", p, std::move(cs),
@@ -303,7 +304,7 @@ Scenario increment_ablation(bool modified, double tau_sec,
   p.tau = sim::Time::seconds(tau_sec);
   p.buffer_fwd = net::QueueLimit::of(buffer);
   p.buffer_rev = net::QueueLimit::of(buffer);
-  std::vector<DumbbellConn> cs(3);  // the Fig. 2 configuration
+  std::vector<ConnSpec> cs(3);  // the Fig. 2 configuration
   for (auto& c : cs) c.tahoe.modified_ca_increment = modified;
   return make_dumbbell_scenario(
       modified ? "increment-modified" : "increment-original", p,

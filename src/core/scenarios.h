@@ -44,6 +44,7 @@ struct ScenarioSummary {
   FluctuationStats fluct_fwd;
   FluctuationStats fluct_rev;
   std::optional<double> period_fwd;  // oscillation period of fwd queue (sec)
+  FlowSummary flows;  // per-flow goodput distribution + Jain's fairness
 };
 
 // Runs the scenario and computes the summary. Consumes the scenario's

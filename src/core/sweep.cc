@@ -469,6 +469,13 @@ SweepRow summary_row(const SweepPoint& point, const ScenarioSummary& s) {
   row.add("audit_delivered",
           static_cast<std::int64_t>(s.result.audit.delivered));
   row.add("audit_dropped", static_cast<std::int64_t>(s.result.audit.dropped));
+  // Per-flow goodput distribution (packets/sec over the measurement window)
+  // and Jain's fairness, for the many-flow Topology scenarios.
+  row.add("flows", static_cast<std::int64_t>(s.flows.flows));
+  row.add("flow_goodput_min", s.flows.goodput_min);
+  row.add("flow_goodput_mean", s.flows.goodput_mean);
+  row.add("flow_goodput_max", s.flows.goodput_max);
+  row.add("jain_fairness", s.flows.jain);
   return row;
 }
 

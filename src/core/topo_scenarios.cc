@@ -1,0 +1,198 @@
+#include "core/topo_scenarios.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tcpdyn::core {
+
+Scenario make_topo_scenario(const TopoSpec& spec) {
+  Scenario s;
+  s.name = spec.name;
+  s.exp = std::make_unique<Experiment>();
+  s.warmup = spec.warmup;
+  s.duration = spec.duration;
+  s.epoch_gap_sec = spec.epoch_gap_sec;
+  s.tahoe_connections = spec.traffic.adaptive_flow_count();
+  const CompiledTopology c = spec.topo.compile(*s.exp);
+  spec.traffic.instantiate(*s.exp, c);
+  return s;
+}
+
+// ----------------------------------------------------------------- ring
+
+Topology ring_topology(const RingParams& p) {
+  Topology t;
+  std::vector<std::size_t> switches, hosts;
+  for (std::size_t i = 0; i < p.switches; ++i) {
+    const std::string n = std::to_string(i + 1);
+    switches.push_back(t.add_switch("R" + n));
+    hosts.push_back(t.add_host("H" + n));
+  }
+  for (std::size_t i = 0; i < p.switches; ++i) {
+    t.add_link(hosts[i], switches[i], p.access_bps, p.access_delay);
+    t.add_link(switches[i], switches[(i + 1) % p.switches], p.trunk_bps,
+               p.trunk_delay, p.trunk_buffer);
+  }
+  t.monitor(switches[0], switches[1]);
+  t.monitor(switches[1], switches[0]);
+  return t;
+}
+
+Scenario ring_scenario(const RingParams& p) {
+  if (p.switches < 3) {
+    throw std::invalid_argument("ring needs at least 3 switches");
+  }
+  TopoSpec spec;
+  spec.name = "ring";
+  spec.topo = ring_topology(p);
+  spec.warmup = sim::Time::seconds(100.0);
+  spec.duration = sim::Time::seconds(300.0);
+  util::Rng rng(p.seed);
+  for (std::size_t k = 0; k < p.flows; ++k) {
+    const std::size_t src = rng.next_below(p.switches);
+    const std::size_t offset = 1 + rng.next_below(p.switches - 1);
+    const std::size_t dst = (src + offset) % p.switches;
+    ConnSpec c;
+    c.src = "H" + std::to_string(src + 1);
+    c.dst = "H" + std::to_string(dst + 1);
+    c.start_time =
+        sim::Time::seconds(rng.uniform(0.0, p.start_spread_sec));
+    spec.traffic.add(std::move(c));
+  }
+  return make_topo_scenario(spec);
+}
+
+// ---------------------------------------------------------- parking lot
+
+Topology parking_lot_topology(const ParkingLotParams& p) {
+  Topology t;
+  const std::size_t n = p.hops + 1;
+  std::vector<std::size_t> switches, sources, sinks;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string suffix = std::to_string(i + 1);
+    switches.push_back(t.add_switch("P" + suffix));
+    sources.push_back(t.add_host("X" + suffix));
+    sinks.push_back(t.add_host("Y" + suffix));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    t.add_link(sources[i], switches[i], p.access_bps, p.access_delay);
+    t.add_link(sinks[i], switches[i], p.access_bps, p.access_delay);
+    if (i + 1 < n) {
+      t.add_link(switches[i], switches[i + 1], p.trunk_bps, p.trunk_delay,
+                 p.trunk_buffer);
+    }
+  }
+  t.monitor(switches[0], switches[1]);
+  t.monitor(switches[1], switches[0]);
+  return t;
+}
+
+Scenario parking_lot_scenario(const ParkingLotParams& p) {
+  if (p.hops < 1) {
+    throw std::invalid_argument("parking lot needs at least 1 hop");
+  }
+  TopoSpec spec;
+  spec.name = "parking-lot";
+  spec.topo = parking_lot_topology(p);
+  spec.warmup = sim::Time::seconds(p.warmup_sec);
+  spec.duration = sim::Time::seconds(p.duration_sec);
+  const sim::Time spread = sim::Time::seconds(p.start_spread_sec);
+  if (p.long_flows > 0) {
+    ConnSpec lng;
+    lng.src = "X1";
+    lng.dst = "Y" + std::to_string(p.hops + 1);
+    lng.count = p.long_flows;
+    lng.start_spread = spread;
+    lng.seed = util::mix_seed(p.seed, 0);
+    spec.traffic.add(std::move(lng));
+  }
+  for (std::size_t hop = 0; hop < p.hops && p.cross_per_hop > 0; ++hop) {
+    ConnSpec cross;
+    cross.src = "X" + std::to_string(hop + 1);
+    cross.dst = "Y" + std::to_string(hop + 2);
+    cross.count = p.cross_per_hop;
+    cross.start_spread = spread;
+    cross.seed = util::mix_seed(p.seed, hop + 1);
+    spec.traffic.add(std::move(cross));
+  }
+  return make_topo_scenario(spec);
+}
+
+// --------------------------------------------------------------- Waxman
+
+Topology waxman_topology(const WaxmanParams& p) {
+  if (p.switches < 2 || p.hosts < 2) {
+    throw std::invalid_argument("waxman needs >= 2 switches and >= 2 hosts");
+  }
+  util::Rng rng(p.seed);
+  Topology t;
+  std::vector<std::size_t> switches;
+  std::vector<double> xs, ys;
+  for (std::size_t i = 0; i < p.switches; ++i) {
+    switches.push_back(t.add_switch("W" + std::to_string(i + 1)));
+    xs.push_back(rng.next_double());
+    ys.push_back(rng.next_double());
+  }
+  // Random spanning tree first (connectivity by construction), then extra
+  // links with the Waxman probability over the remaining pairs.
+  std::vector<std::vector<bool>> linked(p.switches,
+                                        std::vector<bool>(p.switches, false));
+  for (std::size_t i = 1; i < p.switches; ++i) {
+    const std::size_t j = rng.next_below(i);
+    t.add_link(switches[i], switches[j], p.trunk_bps, p.trunk_delay,
+               p.trunk_buffer);
+    linked[i][j] = linked[j][i] = true;
+  }
+  const double scale = std::sqrt(2.0);  // max distance in the unit square
+  for (std::size_t i = 0; i < p.switches; ++i) {
+    for (std::size_t j = i + 1; j < p.switches; ++j) {
+      const double d = std::hypot(xs[i] - xs[j], ys[i] - ys[j]);
+      const double prob = p.alpha * std::exp(-d / (p.beta * scale));
+      // Draw unconditionally so the stream advances the same way whether or
+      // not the pair is already tree-linked.
+      const bool take = rng.next_double() < prob;
+      if (take && !linked[i][j]) {
+        t.add_link(switches[i], switches[j], p.trunk_bps, p.trunk_delay,
+                   p.trunk_buffer);
+        linked[i][j] = linked[j][i] = true;
+      }
+    }
+  }
+  for (std::size_t k = 0; k < p.hosts; ++k) {
+    const std::size_t sw = rng.next_below(p.switches);
+    const std::size_t host = t.add_host("H" + std::to_string(k + 1));
+    t.add_link(host, switches[sw], p.access_bps, p.access_delay);
+  }
+  // Monitor the first trunk: the spanning-tree link off switch 2, which is
+  // always W2 <-> W1 (next_below(1) == 0).
+  t.monitor(switches[1], switches[0]);
+  t.monitor(switches[0], switches[1]);
+  return t;
+}
+
+Scenario waxman_scenario(const WaxmanParams& p) {
+  TopoSpec spec;
+  spec.name = "waxman";
+  spec.topo = waxman_topology(p);
+  spec.warmup = sim::Time::seconds(50.0);
+  spec.duration = sim::Time::seconds(200.0);
+  // Flow endpoints come from a separate stream so topology and traffic can
+  // be varied independently.
+  util::Rng rng(util::mix_seed(p.seed, 0xf10f));
+  for (std::size_t k = 0; k < p.flows; ++k) {
+    const std::size_t src = rng.next_below(p.hosts);
+    std::size_t dst = rng.next_below(p.hosts - 1);
+    if (dst >= src) ++dst;
+    ConnSpec c;
+    c.src = "H" + std::to_string(src + 1);
+    c.dst = "H" + std::to_string(dst + 1);
+    c.start_time = sim::Time::seconds(rng.uniform(0.0, p.start_spread_sec));
+    spec.traffic.add(std::move(c));
+  }
+  return make_topo_scenario(spec);
+}
+
+}  // namespace tcpdyn::core

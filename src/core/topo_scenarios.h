@@ -1,0 +1,88 @@
+// Scenario factories over the general core::Topology layer: graphs the
+// dumbbell/chain builders cannot express (cycles, parking lots, random
+// Waxman meshes) and scenarios loaded from topology files. These exercise
+// the deterministic Dijkstra routing (equal-cost paths exist in the ring)
+// and the flow-schedule layer at scale (the parking lot defaults to 512
+// concurrent Tahoe flows).
+#pragma once
+
+#include <cstdint>
+
+#include "core/scenarios.h"
+#include "core/topology.h"
+
+namespace tcpdyn::core {
+
+// Builds a runnable scenario from a parsed topology-file spec (the
+// `tcpdyn_run topo --file=...` path): compiles the graph, instantiates the
+// traffic matrix, and carries over the run parameters.
+Scenario make_topo_scenario(const TopoSpec& spec);
+
+// --- ring: N switches in a cycle, one host each --------------------------
+// The smallest topology with equal-cost path ties (an even-length ring has
+// two shortest paths to the antipodal node), pinning the smallest-node-id
+// tie-break of the routing layer.
+struct RingParams {
+  std::size_t switches = 6;
+  std::int64_t trunk_bps = 50'000;
+  sim::Time trunk_delay = sim::Time::seconds(0.01);
+  net::QueueLimit trunk_buffer = net::QueueLimit::of(30);
+  std::int64_t access_bps = 10'000'000;
+  sim::Time access_delay = sim::Time::microseconds(100);
+  std::size_t flows = 12;       // Tahoe flows between random host pairs
+  std::uint64_t seed = 7;
+  double start_spread_sec = 5.0;
+};
+
+Topology ring_topology(const RingParams& params);
+Scenario ring_scenario(const RingParams& params);
+
+// --- parking lot: a trunk chain with per-hop cross traffic ----------------
+// `hops` trunk links; long flows traverse the whole trunk while each hop
+// also carries its own single-hop cross flows — the classic fairness
+// stress: long flows compete at every hop. Defaults give 128 + 4*96 = 512
+// concurrent Tahoe flows.
+struct ParkingLotParams {
+  std::size_t hops = 4;             // trunk links; switches = hops + 1
+  std::int64_t trunk_bps = 5'000'000;
+  sim::Time trunk_delay = sim::Time::milliseconds(5);
+  net::QueueLimit trunk_buffer = net::QueueLimit::of(64);
+  std::int64_t access_bps = 100'000'000;
+  sim::Time access_delay = sim::Time::microseconds(100);
+  std::size_t long_flows = 128;     // end-to-end
+  std::size_t cross_per_hop = 96;   // per trunk link
+  std::uint64_t seed = 17;
+  double start_spread_sec = 5.0;
+  double warmup_sec = 10.0;
+  double duration_sec = 30.0;
+};
+
+Topology parking_lot_topology(const ParkingLotParams& params);
+Scenario parking_lot_scenario(const ParkingLotParams& params);
+
+// --- Waxman: random geometric mesh ----------------------------------------
+// Switches at random unit-square coordinates, wired as a random spanning
+// tree (guaranteeing connectivity) plus extra links taken with the Waxman
+// probability alpha * exp(-d / (beta * L)); hosts attach to random
+// switches. Everything — coordinates, links, host placement, endpoints,
+// start times — derives from one seeded stream, so a (seed, params) pair
+// names exactly one network.
+struct WaxmanParams {
+  std::size_t switches = 8;
+  std::size_t hosts = 16;
+  double alpha = 0.6;   // overall link density
+  double beta = 0.4;    // long-link affinity
+  std::int64_t trunk_bps = 1'000'000;
+  sim::Time trunk_delay = sim::Time::milliseconds(5);
+  net::QueueLimit trunk_buffer = net::QueueLimit::of(50);
+  std::int64_t access_bps = 10'000'000;
+  sim::Time access_delay = sim::Time::microseconds(100);
+  std::size_t flows = 32;
+  std::uint64_t seed = 11;
+  double start_spread_sec = 5.0;
+};
+
+Topology waxman_topology(const WaxmanParams& params);
+Scenario waxman_scenario(const WaxmanParams& params);
+
+}  // namespace tcpdyn::core

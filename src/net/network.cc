@@ -2,8 +2,11 @@
 
 #include <cassert>
 #include <deque>
+#include <functional>
 #include <limits>
+#include <queue>
 #include <stdexcept>
+#include <utility>
 
 namespace tcpdyn::net {
 
@@ -92,7 +95,20 @@ void Network::for_each_host(const std::function<void(Host&)>& fn) {
   }
 }
 
-void Network::compute_routes() {
+void Network::set_switch_route(NodeId sw_id, NodeId dst, NodeId via) {
+  auto& sw = static_cast<Switch&>(*nodes_[sw_id].node);
+  OutputPort* p = port_between(sw_id, via);
+  assert(p != nullptr);
+  for (std::size_t i = 0; i < sw.port_count(); ++i) {
+    if (&sw.port(i) == p) {
+      sw.set_route(dst, i);
+      return;
+    }
+  }
+  assert(false && "port not owned by its switch");
+}
+
+void Network::compute_routes_hops() {
   constexpr std::size_t kUnreached = std::numeric_limits<std::size_t>::max();
   for (NodeId dst = 0; dst < nodes_.size(); ++dst) {
     if (!nodes_[dst].host) continue;
@@ -114,22 +130,69 @@ void Network::compute_routes() {
     // the destination. The port toward that neighbour carries the traffic.
     for (NodeId u = 0; u < nodes_.size(); ++u) {
       if (nodes_[u].host || dist[u] == kUnreached || u == dst) continue;
-      auto& sw = static_cast<Switch&>(*nodes_[u].node);
       for (NodeId v : adjacency_[u]) {
         if (dist[v] + 1 == dist[u]) {
-          // Find the port index of u's port toward v.
-          OutputPort* p = port_between(u, v);
-          assert(p != nullptr);
-          for (std::size_t i = 0; i < sw.port_count(); ++i) {
-            if (&sw.port(i) == p) {
-              sw.set_route(dst, i);
-              break;
-            }
-          }
+          set_switch_route(u, dst, v);
           break;
         }
       }
     }
+  }
+}
+
+void Network::compute_routes_delay(std::int64_t route_ref_bytes) {
+  constexpr std::int64_t kUnreached = std::numeric_limits<std::int64_t>::max();
+  // Per-direction link cost in exact integer nanoseconds. Duplex links are
+  // symmetric in rate and delay, so cost(u,v) == cost(v,u).
+  const auto cost_ns = [&](NodeId from, NodeId to) {
+    const OutputPort* p = ports_.at({from, to});
+    return (sim::Time::transmission(route_ref_bytes, p->bits_per_second()) +
+            p->propagation_delay())
+        .ns();
+  };
+  for (NodeId dst = 0; dst < nodes_.size(); ++dst) {
+    if (!nodes_[dst].host) continue;
+    // Dijkstra from the destination; the pop order breaks distance ties by
+    // smallest node id, and so does the next-hop selection below.
+    std::vector<std::int64_t> dist(nodes_.size(), kUnreached);
+    using Entry = std::pair<std::int64_t, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+    dist[dst] = 0;
+    pq.push({0, dst});
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d != dist[u]) continue;  // stale entry
+      for (NodeId v : adjacency_[u]) {
+        const std::int64_t nd = d + cost_ns(v, u);
+        if (nd < dist[v]) {
+          dist[v] = nd;
+          pq.push({nd, v});
+        }
+      }
+    }
+    for (NodeId u = 0; u < nodes_.size(); ++u) {
+      if (nodes_[u].host || dist[u] == kUnreached || u == dst) continue;
+      // Route toward the neighbour on a shortest path; among equal-cost
+      // candidates the smallest node id wins, deterministically.
+      NodeId best = kInvalidNode;
+      for (NodeId v : adjacency_[u]) {
+        if (dist[v] == kUnreached) continue;
+        if (dist[v] + cost_ns(u, v) != dist[u]) continue;
+        if (best == kInvalidNode || v < best) best = v;
+      }
+      assert(best != kInvalidNode);
+      set_switch_route(u, dst, best);
+    }
+  }
+}
+
+void Network::compute_routes(RouteMetric metric,
+                             std::int64_t route_ref_bytes) {
+  if (metric == RouteMetric::kHops) {
+    compute_routes_hops();
+  } else {
+    compute_routes_delay(route_ref_bytes);
   }
 }
 

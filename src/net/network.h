@@ -35,10 +35,21 @@ class Network {
                QueueLimit queue_b_to_a,
                DropPolicy policy = DropPolicy::kDropTail);
 
-  // Populates every switch's routing table with BFS shortest-path (hop
-  // count) next hops toward every host. Ties broken by link insertion
-  // order, deterministically. Must be called after all connect() calls.
-  void compute_routes();
+  // Shortest-path metric for compute_routes.
+  //   kHops  — BFS hop count; ties broken by link insertion order (the
+  //            historic builder behaviour).
+  //   kDelay — Dijkstra over per-link cost = serialization time of one
+  //            reference packet (route_ref_bytes) + propagation delay, in
+  //            integer nanoseconds so the comparison is exact; ties broken
+  //            by smallest next-hop node id. The Topology layer compiles
+  //            with this metric.
+  enum class RouteMetric : std::uint8_t { kHops, kDelay };
+
+  // Populates every switch's routing table with shortest-path next hops
+  // toward every host, under the chosen metric. Deterministic for a given
+  // construction sequence. Must be called after all connect() calls.
+  void compute_routes(RouteMetric metric = RouteMetric::kHops,
+                      std::int64_t route_ref_bytes = 500);
 
   Host& host(NodeId id);
   Switch& switch_node(NodeId id);
@@ -63,6 +74,10 @@ class Network {
   sim::Simulator& sim() { return sim_; }
 
  private:
+  void compute_routes_hops();
+  void compute_routes_delay(std::int64_t route_ref_bytes);
+  void set_switch_route(NodeId sw_id, NodeId dst, NodeId via);
+
   struct NodeSlot {
     std::unique_ptr<Node> node;
     bool host = false;

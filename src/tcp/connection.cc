@@ -41,6 +41,9 @@ Connection::Connection(net::Network& network, ConnectionConfig config)
   receiver_ = std::make_unique<Receiver>(network.sim(), dst, rp);
 
   sender_->start(config.start_time);
+  if (config.stop_time > sim::Time::zero()) {
+    sender_->stop(config.stop_time);
+  }
 }
 
 TahoeSender* Connection::tahoe() {

@@ -28,6 +28,7 @@ struct ConnectionConfig {
   bool delayed_ack = false;
   sim::Time pacing_interval = sim::Time::zero();
   sim::Time start_time = sim::Time::zero();
+  sim::Time stop_time = sim::Time::zero();   // zero = transmit forever
   TahoeParams tahoe;
   RenoParams reno;
   RttParams rtt;

@@ -21,8 +21,18 @@ void WindowSender::start(sim::Time at) {
   });
 }
 
+void WindowSender::stop(sim::Time at) {
+  assert(at >= sim_.now());
+  sim_.schedule(at - sim_.now(), [this] {
+    stopped_ = true;
+    rto_timer_.cancel();
+    pacing_timer_.cancel();
+  });
+}
+
 void WindowSender::deliver(const net::Packet& ack) {
   assert(net::is_ack(ack));
+  if (stopped_) return;
   ++counters_.acks_received;
   if (ack.ack > snd_una_) {
     const std::uint32_t newly = ack.ack - snd_una_;
@@ -55,7 +65,7 @@ void WindowSender::deliver(const net::Packet& ack) {
 }
 
 void WindowSender::send_available() {
-  if (!started_) return;
+  if (!started_ || stopped_) return;
   const std::uint32_t wnd = window();
   while (snd_nxt_ < snd_una_ + wnd) {
     if (params_.pacing_interval > sim::Time::zero() &&

@@ -52,6 +52,13 @@ class WindowSender : public net::PacketSink {
   // Begins transmitting at absolute time `at` (>= now).
   void start(sim::Time at);
 
+  // Stops transmitting at absolute time `at` (>= now): no new data or
+  // retransmissions leave after that point and all timers are cancelled.
+  // Packets already in flight still propagate (and their ACKs are ignored),
+  // so the conservation ledger closes normally.
+  void stop(sim::Time at);
+  bool stopped() const { return stopped_; }
+
   // net::PacketSink: handles an arriving ACK.
   void deliver(const net::Packet& ack) override;
 
@@ -100,6 +107,7 @@ class WindowSender : public net::PacketSink {
   RttEstimator rtt_;
   SenderCounters counters_;
   bool started_ = false;
+  bool stopped_ = false;
 
   std::uint32_t snd_una_ = 0;   // lowest unacknowledged sequence
   std::uint32_t snd_nxt_ = 0;   // next sequence to transmit

@@ -131,7 +131,7 @@ TEST(Dumbbell, PipeSizeMatchesPaper) {
 TEST(Dumbbell, ConnectionsPlacedByDirection) {
   Experiment exp;
   const DumbbellHandles h = build_dumbbell(exp, DumbbellParams{});
-  std::vector<DumbbellConn> specs(2);
+  std::vector<ConnSpec> specs(2);
   specs[0].forward = true;
   specs[1].forward = false;
   add_dumbbell_connections(exp, h, specs);

@@ -31,7 +31,7 @@ TEST_P(AckCompressionRobustness, PersistsAcrossSecondOrderParams) {
   // processing, so sweeping the access delay covers both knobs.
   dp.access_delay = sim::Time::microseconds(p.host_processing_us);
   const DumbbellHandles h = build_dumbbell(exp, dp);
-  std::vector<DumbbellConn> conns(2);
+  std::vector<ConnSpec> conns(2);
   conns[0].forward = true;
   conns[1].forward = false;
   conns[1].start_time = sim::Time::seconds(1.3);
@@ -63,7 +63,7 @@ TEST_P(AckSizeSweep, CompressionScalesWithSizeRatio) {
   const std::uint32_t ack_bytes = GetParam();
   Experiment exp;
   const DumbbellHandles h = build_dumbbell(exp, DumbbellParams{});
-  std::vector<DumbbellConn> conns(2);
+  std::vector<ConnSpec> conns(2);
   conns[0].forward = true;
   conns[1].forward = false;
   conns[1].start_time = sim::Time::seconds(1.3);
@@ -102,9 +102,9 @@ TEST_P(ConfigurationGrid, InvariantsHold) {
   dp.buffer_fwd = net::QueueLimit::of(g.buffer);
   dp.buffer_rev = net::QueueLimit::of(g.buffer);
   const DumbbellHandles h = build_dumbbell(exp, dp);
-  std::vector<DumbbellConn> conns;
+  std::vector<ConnSpec> conns;
   for (std::size_t i = 0; i < 2 * g.per_side; ++i) {
-    DumbbellConn c;
+    ConnSpec c;
     c.forward = i < g.per_side;
     c.start_time = sim::Time::seconds(0.37 * static_cast<double>(i));
     conns.push_back(c);
@@ -149,7 +149,7 @@ TEST_P(StartJitter, TwoWayPhenomenaStable) {
   Experiment exp;
   const DumbbellHandles h = build_dumbbell(exp, sc.dumbbell);
   util::Rng rng(GetParam());
-  std::vector<DumbbellConn> conns(2);
+  std::vector<ConnSpec> conns(2);
   conns[0].forward = true;
   conns[1].forward = false;
   for (auto& c : conns) {

@@ -54,7 +54,7 @@ TEST(Flags, Positional) {
 }
 
 TEST(Flags, Defaults) {
-  Flags f({});
+  Flags f(std::vector<std::string>{});
   EXPECT_EQ(f.get("missing", "dflt"), "dflt");
   EXPECT_DOUBLE_EQ(f.get_double("missing", 3.5), 3.5);
   EXPECT_EQ(f.get_int("missing", -7), -7);
@@ -85,6 +85,143 @@ TEST(Flags, MalformedNumberThrows) {
   Flags f({"--x=abc"});
   EXPECT_THROW(f.get_double("x", 0.0), std::invalid_argument);
   EXPECT_THROW(f.get_int("x", 0), std::invalid_argument);
+}
+
+TEST(Flags, MalformedNumberErrorNamesFlagAndValue) {
+  Flags f({"--tau=fast", "--buffer=many"});
+  try {
+    f.get_double("tau", 0.0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--tau"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("fast"), std::string::npos) << msg;
+  }
+  try {
+    f.get_int("buffer", 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--buffer"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("many"), std::string::npos) << msg;
+  }
+  // Trailing garbage after a valid prefix is malformed too, not truncated.
+  Flags g({"--x=12abc", "--y=3.5e"});
+  EXPECT_THROW(g.get_int("x", 0), std::invalid_argument);
+  EXPECT_THROW(g.get_double("y", 0.0), std::invalid_argument);
+}
+
+TEST(Flags, NegativeValuesAreValuesNotFlags) {
+  Flags f({"--tau", "-5", "--offset=-0.25"});
+  EXPECT_DOUBLE_EQ(f.get_double("tau", 0.0), -5.0);
+  EXPECT_EQ(f.get_int("tau", 0), -5);
+  EXPECT_DOUBLE_EQ(f.get_double("offset", 0.0), -0.25);
+}
+
+TEST(Flags, EqualsWithEmptyValue) {
+  Flags f({"--name=", "--other=x"});
+  EXPECT_TRUE(f.has("name"));
+  EXPECT_EQ(f.get("name", "dflt"), "");  // present and empty, not default
+  EXPECT_EQ(f.get("other"), "x");
+}
+
+// --- registration mode --------------------------------------------------
+
+Flags declared() {
+  Flags f;
+  f.flag("jobs", "N", "worker threads", 1)
+      .flag("tau", "SEC", "propagation delay", 0.01)
+      .flag("out", "PATH", "output file", "-")
+      .flag("verbose", "log more", false);
+  return f;
+}
+
+TEST(Flags, RegisteredDefaultsComeFromDeclaration) {
+  Flags f = declared();
+  f.parse(std::vector<std::string>{});
+  EXPECT_EQ(f.get_int("jobs"), 1);
+  EXPECT_DOUBLE_EQ(f.get_double("tau"), 0.01);
+  EXPECT_EQ(f.get("out"), "-");
+  EXPECT_FALSE(f.get_bool("verbose"));
+}
+
+TEST(Flags, RegisteredParseOverridesDefaults) {
+  Flags f = declared();
+  f.parse({"--jobs", "8", "--verbose", "--out=run.json"});
+  EXPECT_EQ(f.get_int("jobs"), 8);
+  EXPECT_TRUE(f.get_bool("verbose"));
+  EXPECT_EQ(f.get("out"), "run.json");
+  EXPECT_DOUBLE_EQ(f.get_double("tau"), 0.01);  // untouched default
+}
+
+TEST(Flags, RegisteredRejectsUnknownFlag) {
+  Flags f = declared();
+  try {
+    f.parse({"--bogus=1"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--bogus"), std::string::npos);
+  }
+}
+
+TEST(Flags, RegisteredValueFlagRequiresValue) {
+  Flags f = declared();
+  EXPECT_THROW(f.parse({"--jobs"}), std::invalid_argument);
+  Flags g = declared();
+  // Next token is a flag, so it cannot serve as the value.
+  EXPECT_THROW(g.parse({"--jobs", "--verbose"}), std::invalid_argument);
+}
+
+TEST(Flags, RegisteredBooleanNeverConsumesNextToken) {
+  Flags f = declared();
+  f.parse({"--verbose", "extra"});
+  EXPECT_TRUE(f.get_bool("verbose"));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "extra");
+}
+
+TEST(Flags, RegisteredLastValueWins) {
+  Flags f = declared();
+  f.parse({"--jobs=2", "--jobs", "4", "--jobs=6"});
+  EXPECT_EQ(f.get_int("jobs"), 6);
+}
+
+TEST(Flags, RegisteredNegativeValueAfterValueFlag) {
+  Flags f = declared();
+  f.parse({"--tau", "-1.5"});
+  EXPECT_DOUBLE_EQ(f.get_double("tau"), -1.5);
+}
+
+TEST(Flags, HelpIsAutoRegistered) {
+  Flags f = declared();
+  f.parse({"--help"});
+  EXPECT_TRUE(f.help_requested());
+}
+
+TEST(Flags, UsageListsEveryFlagWithDefaults) {
+  Flags f = declared();
+  const std::string u = f.usage("prog");
+  EXPECT_NE(u.find("usage: prog"), std::string::npos);
+  for (const char* needle :
+       {"--jobs N", "worker threads", "(default 1)", "--tau SEC",
+        "(default 0.01)", "--verbose", "--help", "show this help"}) {
+    EXPECT_NE(u.find(needle), std::string::npos) << "missing: " << needle;
+  }
+}
+
+TEST(Flags, AccessorsOnUndeclaredNumericFlagThrow) {
+  Flags f = declared();
+  f.parse(std::vector<std::string>{});
+  EXPECT_THROW(f.get_int("nope"), std::logic_error);
+  EXPECT_THROW(f.get_double("nope"), std::logic_error);
+}
+
+TEST(Flags, DeclarationErrors) {
+  Flags f = declared();
+  EXPECT_THROW(f.flag("jobs", "N", "again", 2), std::logic_error);  // dup
+  f.parse(std::vector<std::string>{});
+  EXPECT_THROW(f.parse(std::vector<std::string>{}), std::logic_error);
+  EXPECT_THROW(f.flag("late", "N", "after parse", 0), std::logic_error);
 }
 
 }  // namespace

@@ -5,63 +5,79 @@
 //   tcpdyn_run --scenario oneway --conns 5 --duration 600 --chart
 //   tcpdyn_run --scenario fixed --w1 30 --w2 25 --tau 1
 //   tcpdyn_run --scenario chain --conns 50 --csv-dir out/
+//   tcpdyn_run topo --file examples/topos/dumbbell.topo
+//   tcpdyn_run --scenario parking-lot --long-flows 128 --cross-per-hop 96
 //
-// Flags (defaults in brackets):
-//   --scenario   fig2|fig3|fig4|fig6|fig8|fig9|oneway|twoway|fixed|chain [fig4]
-//   --tau        bottleneck propagation delay, seconds [scenario default]
-//   --buffer     bottleneck buffer, packets [scenario default]
-//   --conns      connection count (oneway: all forward; twoway/chain) [2]
-//   --sender     tahoe|reno [tahoe]           (oneway/twoway only)
-//   --delayed-ack                              receiver option
-//   --pacing     pacing interval, seconds [0 = nonpaced]
-//   --random-drop                              bottleneck discard discipline
-//   --w1/--w2    fixed-window sizes [30/25]   (fixed only)
-//   --warmup     seconds [scenario default]
-//   --duration   measured seconds [scenario default]
-//   --chart      print ASCII queue charts
-//   --csv-dir    export raw traces as CSV into this directory
-//   --audit      off|counters|full — conservation-check strength
-//                [full in Debug builds, counters otherwise]
-//   --trace      write a JSONL event trace (see DESIGN.md) to this file
+// The scenario may be given positionally (tcpdyn_run topo ...) or via
+// --scenario. Run with --help for the full flag list.
 #include <filesystem>
 #include <iostream>
 
 #include "core/csv_export.h"
 #include "core/report.h"
 #include "core/scenarios.h"
+#include "core/topo_scenarios.h"
+#include "core/topology.h"
 #include "util/flags.h"
 
 using namespace tcpdyn;
 
 namespace {
 
-int usage(const char* msg) {
-  std::cerr << "tcpdyn_run: " << msg
-            << "\nsee the header of tools/tcpdyn_run.cpp for flags\n";
+void declare_flags(util::Flags& flags) {
+  flags
+      .flag("scenario", "NAME",
+            "fig2|fig3|fig4|fig6|fig8|fig9|oneway|twoway|fixed|chain|ring|"
+            "parking-lot|waxman|topo (also accepted positionally)",
+            "fig4")
+      .flag("file", "PATH", "topology file (scenario topo)", "")
+      .flag("tau", "SEC", "bottleneck propagation delay", 0.01)
+      .flag("buffer", "PKTS", "bottleneck buffer", 20)
+      .flag("conns", "N", "connection / flow count", 2)
+      .flag("sender", "tahoe|reno", "adaptive sender kind", "tahoe")
+      .flag("delayed-ack", "receiver delayed-ACK option", false)
+      .flag("pacing", "SEC", "pacing interval (0 = nonpaced)", 0.0)
+      .flag("random-drop", "random-drop bottleneck discipline", false)
+      .flag("w1", "PKTS", "fixed-window size, forward", 30)
+      .flag("w2", "PKTS", "fixed-window size, reverse", 25)
+      .flag("seed", "N", "seed for randomized scenarios", 7)
+      .flag("hops", "N", "parking-lot trunk links", 4)
+      .flag("long-flows", "N", "parking-lot end-to-end flows", 128)
+      .flag("cross-per-hop", "N", "parking-lot cross flows per trunk", 96)
+      .flag("switches", "N", "ring/waxman switch count", 0)
+      .flag("warmup", "SEC", "override scenario warmup", "")
+      .flag("duration", "SEC", "override measured duration", "")
+      .flag("chart", "print ASCII queue charts", false)
+      .flag("csv-dir", "DIR", "export raw traces as CSV here", "")
+      .flag("audit", "off|counters|full", "conservation-check strength", "")
+      .flag("trace", "PATH", "write a JSONL event trace here", "");
+}
+
+int fail(const util::Flags& flags, const std::string& msg) {
+  std::cerr << "tcpdyn_run: " << msg << '\n'
+            << flags.usage("tcpdyn_run [scenario]");
   return 2;
 }
 
 core::Scenario custom_dumbbell(const util::Flags& flags, bool two_way) {
   core::DumbbellParams p;
-  p.tau = sim::Time::seconds(flags.get_double("tau", 0.01));
-  const auto buffer =
-      static_cast<std::size_t>(flags.get_int("buffer", 20));
+  p.tau = sim::Time::seconds(flags.get_double("tau"));
+  const auto buffer = static_cast<std::size_t>(flags.get_int("buffer"));
   p.buffer_fwd = net::QueueLimit::of(buffer);
   p.buffer_rev = net::QueueLimit::of(buffer);
-  if (flags.get_bool("random-drop", false)) {
+  if (flags.get_bool("random-drop")) {
     p.bottleneck_policy = net::DropPolicy::kRandomDrop;
   }
 
-  const auto n = static_cast<std::size_t>(flags.get_int("conns", 2));
-  const std::string sender = flags.get("sender", "tahoe");
-  std::vector<core::DumbbellConn> conns(n);
+  const auto n = static_cast<std::size_t>(flags.get_int("conns"));
+  const std::string sender = flags.get("sender");
+  std::vector<core::ConnSpec> conns(n);
   for (std::size_t i = 0; i < n; ++i) {
     conns[i].forward = two_way ? i < (n + 1) / 2 : true;
     conns[i].kind = sender == "reno" ? tcp::SenderKind::kReno
                                      : tcp::SenderKind::kTahoe;
-    conns[i].delayed_ack = flags.get_bool("delayed-ack", false);
-    conns[i].pacing_interval =
-        sim::Time::seconds(flags.get_double("pacing", 0.0));
+    conns[i].delayed_ack = flags.get_bool("delayed-ack");
+    conns[i].pacing_interval = sim::Time::seconds(flags.get_double("pacing"));
     conns[i].start_time = sim::Time::seconds(0.37 * static_cast<double>(i));
   }
 
@@ -78,59 +94,111 @@ core::Scenario custom_dumbbell(const util::Flags& flags, bool two_way) {
   return s;
 }
 
+core::Scenario build(const std::string& which, const util::Flags& flags) {
+  const auto size = [&](const std::string& name) {
+    return static_cast<std::size_t>(flags.get_int(name));
+  };
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  if (which == "fig2") {
+    return core::fig2_one_way(flags.has("conns") ? size("conns") : 3,
+                              flags.has("tau") ? flags.get_double("tau") : 1.0,
+                              size("buffer"));
+  }
+  if (which == "fig3") {
+    return core::fig3_ten_connections(
+        flags.has("buffer") ? size("buffer") : 30);
+  }
+  if (which == "fig4") {
+    return core::fig4_twoway(flags.get_double("tau"), size("buffer"));
+  }
+  if (which == "fig6") {
+    return core::fig6_twoway(flags.has("tau") ? flags.get_double("tau") : 1.0,
+                             size("buffer"));
+  }
+  if (which == "fig8" || which == "fig9" || which == "fixed") {
+    return core::fig8_fixed_window(
+        flags.has("tau") ? flags.get_double("tau")
+                         : (which == "fig9" ? 1.0 : 0.01),
+        static_cast<std::uint32_t>(flags.get_int("w1")),
+        static_cast<std::uint32_t>(flags.get_int("w2")));
+  }
+  if (which == "chain") {
+    return core::four_switch_chain(flags.has("conns") ? size("conns") : 50,
+                                   seed);
+  }
+  if (which == "oneway") return custom_dumbbell(flags, /*two_way=*/false);
+  if (which == "twoway") return custom_dumbbell(flags, /*two_way=*/true);
+  if (which == "ring") {
+    core::RingParams p;
+    if (flags.has("switches")) p.switches = size("switches");
+    if (flags.has("conns")) p.flows = size("conns");
+    p.seed = seed;
+    return core::ring_scenario(p);
+  }
+  if (which == "parking-lot") {
+    core::ParkingLotParams p;
+    p.hops = size("hops");
+    p.long_flows = size("long-flows");
+    p.cross_per_hop = size("cross-per-hop");
+    p.seed = seed;
+    return core::parking_lot_scenario(p);
+  }
+  if (which == "waxman") {
+    core::WaxmanParams p;
+    if (flags.has("switches")) p.switches = size("switches");
+    if (flags.has("conns")) p.flows = size("conns");
+    p.seed = seed;
+    return core::waxman_scenario(p);
+  }
+  if (which == "topo") {
+    const std::string file = flags.get("file");
+    if (file.empty()) {
+      throw std::invalid_argument("scenario topo requires --file");
+    }
+    return core::make_topo_scenario(core::load_topology_file(file));
+  }
+  throw std::invalid_argument("unknown scenario '" + which + "'");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Flags flags(argc, argv);
-  const std::string which = flags.get("scenario", "fig4");
+  util::Flags flags;
+  declare_flags(flags);
+  try {
+    flags.parse(argc, argv);
+  } catch (const std::exception& e) {
+    return fail(flags, e.what());
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage("tcpdyn_run [scenario]");
+    return 0;
+  }
+  if (flags.positional().size() > 1) {
+    return fail(flags, "at most one positional scenario argument");
+  }
+  const std::string which = flags.positional().empty()
+                                ? flags.get("scenario")
+                                : flags.positional()[0];
 
   core::Scenario scenario;
-  if (which == "fig2") {
-    scenario = core::fig2_one_way(
-        static_cast<std::size_t>(flags.get_int("conns", 3)),
-        flags.get_double("tau", 1.0),
-        static_cast<std::size_t>(flags.get_int("buffer", 20)));
-  } else if (which == "fig3") {
-    scenario = core::fig3_ten_connections(
-        static_cast<std::size_t>(flags.get_int("buffer", 30)));
-  } else if (which == "fig4") {
-    scenario = core::fig4_twoway(
-        flags.get_double("tau", 0.01),
-        static_cast<std::size_t>(flags.get_int("buffer", 20)));
-  } else if (which == "fig6") {
-    scenario = core::fig6_twoway(
-        flags.get_double("tau", 1.0),
-        static_cast<std::size_t>(flags.get_int("buffer", 20)));
-  } else if (which == "fig8" || which == "fig9" || which == "fixed") {
-    scenario = core::fig8_fixed_window(
-        flags.get_double("tau", which == "fig9" ? 1.0 : 0.01),
-        static_cast<std::uint32_t>(flags.get_int("w1", 30)),
-        static_cast<std::uint32_t>(flags.get_int("w2", 25)));
-  } else if (which == "chain") {
-    scenario = core::four_switch_chain(
-        static_cast<std::size_t>(flags.get_int("conns", 50)),
-        static_cast<std::uint64_t>(flags.get_int("seed", 7)));
-  } else if (which == "oneway") {
-    scenario = custom_dumbbell(flags, /*two_way=*/false);
-  } else if (which == "twoway") {
-    scenario = custom_dumbbell(flags, /*two_way=*/true);
-  } else {
-    return usage(("unknown scenario '" + which + "'").c_str());
+  try {
+    scenario = build(which, flags);
+  } catch (const std::exception& e) {
+    return fail(flags, e.what());
   }
 
   if (flags.has("warmup")) {
     scenario.warmup = sim::Time::seconds(flags.get_double("warmup", 100.0));
   }
   if (flags.has("duration")) {
-    scenario.duration =
-        sim::Time::seconds(flags.get_double("duration", 400.0));
+    scenario.duration = sim::Time::seconds(flags.get_double("duration", 400.0));
   }
   if (flags.has("audit")) {
     const auto mode = core::parse_audit_mode(flags.get("audit"));
     if (!mode) {
-      return usage(("unknown --audit mode '" + flags.get("audit") +
-                    "' (off|counters|full)")
-                       .c_str());
+      return fail(flags, "unknown --audit mode '" + flags.get("audit") +
+                             "' (off|counters|full)");
     }
     scenario.exp->set_audit_mode(*mode);
   }
@@ -142,7 +210,7 @@ int main(int argc, char** argv) {
   core::ScenarioSummary s = core::run_scenario(scenario);
   core::print_summary(std::cout, name, s);
 
-  if (flags.get_bool("chart", false)) {
+  if (flags.get_bool("chart")) {
     std::cout << '\n';
     for (const auto& port : s.result.ports) {
       core::print_queue_chart(std::cout, port.queue, s.result.t_start,

@@ -1,34 +1,17 @@
 // tcpdyn_sweep — run a grid of scenarios in parallel and emit one result row
 // per point as JSON and/or CSV.
 //
-//   tcpdyn_sweep --scenario fig4 --grid "tau=0.01:1:log10,buffer=10:80:10" \
+//   tcpdyn_sweep --scenario fig4 --grid "tau=0.01:1:log10,buffer=10:80:10"
 //                --jobs 8 --out sweep.json
 //   tcpdyn_sweep --scenario fig2 --grid "buffer=10;20;40;80" --csv sweep.csv
-//   tcpdyn_sweep --scenario fixed --grid "w1=20:40:5,w2=15:35:5" --jobs 0
+//   tcpdyn_sweep --scenario ring --grid "conns=4:24:4" --jobs 0
 //
 // Grid axes (comma-separated): name=v | name=v1;v2;v3 | name=lo:hi:step
 // (linear, inclusive) | name=lo:hi:logN (N log-spaced points). Axis names
 // override the matching scenario parameter; parameters that are not axes
 // come from the flag of the same name or the scenario default.
 //
-// Flags (defaults in brackets):
-//   --scenario  fig2|fig3|fig4|fig6|fixed|reno|paced|random-drop|
-//               delayed-ack|rtt|chain [fig4]
-//   --grid      axis spec, required
-//   --jobs      worker threads [0 = all hardware threads]
-//   --seed      sweep seed; every point gets seed hash(seed, index) [1]
-//   --out       write JSON here ['-' or unset = stdout]
-//   --csv       also write CSV here
-//   --warmup    override scenario warmup, seconds
-//   --duration  override measured seconds
-//   --tau/--buffer/--conns/--w1/--w2/--spread/--maxwnd   fixed (non-axis)
-//               scenario parameters
-//   --progress  log per-point progress and ETA to stderr
-//   --quiet     suppress the human-readable summary table on stdout
-//   --audit     off|counters|full — conservation-check strength per point
-//               [full in Debug builds, counters otherwise]
-//   --trace     JSONL event-trace path prefix; point N writes
-//               PREFIX.pointN.jsonl (see DESIGN.md for the schema)
+// Run with --help for the full flag list.
 //
 // Determinism: output depends only on (scenario, grid, seed) — never on
 // --jobs. CI diffs --jobs 1 against --jobs 4 byte-for-byte on every push.
@@ -40,6 +23,7 @@
 #include "core/report.h"
 #include "core/scenarios.h"
 #include "core/sweep.h"
+#include "core/topo_scenarios.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/table.h"
@@ -49,9 +33,41 @@ using namespace tcpdyn;
 
 namespace {
 
-int usage(const std::string& msg) {
-  std::cerr << "tcpdyn_sweep: " << msg
-            << "\nsee the header of tools/tcpdyn_sweep.cpp for flags\n";
+void declare_flags(util::Flags& flags) {
+  flags
+      .flag("scenario", "NAME",
+            "fig2|fig3|fig4|fig6|fixed|reno|paced|random-drop|delayed-ack|"
+            "rtt|chain|ring|parking-lot|waxman",
+            "fig4")
+      .flag("grid", "SPEC", "axis spec (required)", "")
+      .flag("jobs", "N", "worker threads (0 = all hardware threads)", 0)
+      .flag("seed", "N", "sweep seed; point i runs with hash(seed, i)", 1)
+      .flag("out", "PATH", "write JSON here ('-' = stdout)", "-")
+      .flag("csv", "PATH", "also write CSV here", "")
+      .flag("warmup", "SEC", "override scenario warmup", "")
+      .flag("duration", "SEC", "override measured duration", "")
+      .flag("tau", "SEC", "bottleneck propagation delay", "")
+      .flag("buffer", "PKTS", "bottleneck buffer", "")
+      .flag("conns", "N", "connection / flow count", "")
+      .flag("w1", "PKTS", "fixed-window size, forward", "")
+      .flag("w2", "PKTS", "fixed-window size, reverse", "")
+      .flag("spread", "SEC", "rtt scenario access-delay spread", "")
+      .flag("maxwnd", "PKTS", "delayed-ack scenario window cap", "")
+      .flag("hops", "N", "parking-lot trunk links", "")
+      .flag("long-flows", "N", "parking-lot end-to-end flows", "")
+      .flag("cross-per-hop", "N", "parking-lot cross flows per trunk", "")
+      .flag("switches", "N", "ring/waxman switch count", "")
+      .flag("progress", "log per-point progress and ETA to stderr", false)
+      .flag("quiet", "suppress the summary table on stdout", false)
+      .flag("audit", "off|counters|full", "conservation-check strength", "")
+      .flag("trace", "PREFIX",
+            "JSONL event-trace prefix; point N writes PREFIX.pointN.jsonl",
+            "");
+}
+
+int usage(const util::Flags& flags, const std::string& msg) {
+  std::cerr << "tcpdyn_sweep: " << msg << '\n'
+            << flags.usage("tcpdyn_sweep");
   return 2;
 }
 
@@ -120,32 +136,64 @@ core::Scenario build_scenario(const std::string& which,
     return core::four_switch_chain(as_size(param(pt, flags, "conns", 50)),
                                    pt.seed);
   }
+  if (which == "ring") {
+    core::RingParams p;
+    p.switches = as_size(param(pt, flags, "switches", 6));
+    p.flows = as_size(param(pt, flags, "conns", 12));
+    p.seed = pt.seed;
+    return core::ring_scenario(p);
+  }
+  if (which == "parking-lot") {
+    core::ParkingLotParams p;
+    p.hops = as_size(param(pt, flags, "hops", 4));
+    p.long_flows = as_size(param(pt, flags, "long-flows", 128));
+    p.cross_per_hop = as_size(param(pt, flags, "cross-per-hop", 96));
+    p.seed = pt.seed;
+    return core::parking_lot_scenario(p);
+  }
+  if (which == "waxman") {
+    core::WaxmanParams p;
+    p.switches = as_size(param(pt, flags, "switches", 8));
+    p.flows = as_size(param(pt, flags, "conns", 32));
+    p.seed = pt.seed;
+    return core::waxman_scenario(p);
+  }
   throw std::invalid_argument("unknown scenario '" + which + "'");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Flags flags(argc, argv);
-  if (!flags.has("grid")) {
-    return usage("--grid is required");
+  util::Flags flags;
+  declare_flags(flags);
+  try {
+    flags.parse(argc, argv);
+  } catch (const std::exception& e) {
+    return usage(flags, e.what());
   }
-  const std::string which = flags.get("scenario", "fig4");
+  if (flags.help_requested()) {
+    std::cout << flags.usage("tcpdyn_sweep");
+    return 0;
+  }
+  if (!flags.has("grid")) {
+    return usage(flags, "--grid is required");
+  }
+  const std::string which = flags.get("scenario");
 
   core::SweepGrid grid;
   try {
     grid = core::SweepGrid(core::parse_grid(flags.get("grid")));
   } catch (const std::exception& e) {
-    return usage(e.what());
+    return usage(flags, e.what());
   }
 
   core::SweepOptions opts;
   try {
-    opts.jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
-    opts.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-    opts.progress = flags.get_bool("progress", false);
+    opts.jobs = static_cast<std::size_t>(flags.get_int("jobs"));
+    opts.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    opts.progress = flags.get_bool("progress");
   } catch (const std::exception& e) {
-    return usage(e.what());
+    return usage(flags, e.what());
   }
   if (opts.progress) {
     util::set_log_level(util::LogLevel::kInfo);
@@ -155,11 +203,11 @@ int main(int argc, char** argv) {
   if (flags.has("audit")) {
     audit_mode = core::parse_audit_mode(flags.get("audit"));
     if (!audit_mode) {
-      return usage("unknown --audit mode '" + flags.get("audit") +
-                   "' (off|counters|full)");
+      return usage(flags, "unknown --audit mode '" + flags.get("audit") +
+                              "' (off|counters|full)");
     }
   }
-  const std::string trace_prefix = flags.get("trace", "");
+  const std::string trace_prefix = flags.get("trace");
 
   core::SweepRunner runner(std::move(grid), opts);
   core::SweepTable table;
@@ -185,21 +233,21 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const std::string out = flags.get("out", "-");
+  const std::string out = flags.get("out");
   if (out == "-") {
     table.write_json(std::cout);
   } else {
     std::ofstream os(out, std::ios::binary);
-    if (!os) return usage("cannot open --out file '" + out + "'");
+    if (!os) return usage(flags, "cannot open --out file '" + out + "'");
     table.write_json(os);
   }
   if (flags.has("csv")) {
     std::ofstream os(flags.get("csv"), std::ios::binary);
-    if (!os) return usage("cannot open --csv file");
+    if (!os) return usage(flags, "cannot open --csv file");
     table.write_csv(os);
   }
 
-  if (!flags.get_bool("quiet", false) && out != "-") {
+  if (!flags.get_bool("quiet") && out != "-") {
     std::vector<std::string> header;
     for (const auto& axis : runner.grid().axes()) header.push_back(axis.name);
     header.insert(header.end(), {"util_fwd", "util_rev", "sync (cwnd)",
