@@ -20,6 +20,7 @@ void counters_check_into(net::Network& net, AuditTotals& totals,
                          std::vector<std::string>& violations) {
   net.for_each_port([&](net::OutputPort& port) {
     const net::QueueCounters& c = port.counters();
+    const net::FaultCounters& f = port.fault_counters();
     const std::uint64_t len = port.queue_length();
     if (c.arrivals != c.departures + c.drops + len) {
       std::ostringstream os;
@@ -36,8 +37,20 @@ void counters_check_into(net::Network& net, AuditTotals& totals,
          << " + dropped " << c.bytes_dropped << " + queued " << len_bytes;
       violations.push_back(os.str());
     }
-    totals.dropped += c.drops;
-    totals.bytes_dropped += c.bytes_dropped;
+    // Down-link discards are a subset of the queue's native drop count
+    // (the queue still counted them, so its own law balances); wire drops
+    // happen after the departure count and are added on top.
+    if (f.drops_down > c.drops) {
+      std::ostringstream os;
+      os << port.name() << ": down-link drops " << f.drops_down
+         << " exceed total queue drops " << c.drops;
+      violations.push_back(os.str());
+    }
+    totals.dropped += c.drops + f.drops_wire;
+    totals.bytes_dropped += c.bytes_dropped + f.bytes_drops_wire;
+    totals.drops_queue += c.drops - std::min(f.drops_down, c.drops);
+    totals.drops_down += f.drops_down;
+    totals.drops_fault += f.drops_wire;
     totals.in_queue += len;
     totals.bytes_in_queue += len_bytes;
   });
@@ -68,6 +81,14 @@ void counters_check_into(net::Network& net, AuditTotals& totals,
        << totals.bytes_dropped << " + queued " << totals.bytes_in_queue;
     violations.push_back(os.str());
   }
+  if (totals.drops_queue + totals.drops_down + totals.drops_fault !=
+      totals.dropped) {
+    std::ostringstream os;
+    os << "drop attribution does not close: queue " << totals.drops_queue
+       << " + down " << totals.drops_down << " + fault " << totals.drops_fault
+       << " != dropped " << totals.dropped;
+    violations.push_back(os.str());
+  }
 }
 
 }  // namespace
@@ -86,6 +107,10 @@ std::string AuditReport::to_string() const {
      << totals.in_queue << " + in-flight " << totals.in_flight << " ("
      << totals.bytes_created << " bytes created, " << totals.bytes_delivered
      << " delivered, " << totals.bytes_dropped << " dropped)";
+  if (totals.drops_down > 0 || totals.drops_fault > 0) {
+    os << "; drop causes: queue " << totals.drops_queue << " + down "
+       << totals.drops_down << " + fault " << totals.drops_fault;
+  }
   for (const std::string& v : violations) os << "\n  VIOLATION: " << v;
   return os.str();
 }
@@ -155,20 +180,35 @@ void Audit::on_enqueue(sim::Time t, const net::OutputPort& port,
 }
 
 void Audit::on_drop(sim::Time t, const net::OutputPort& port,
-                    const net::Packet& pkt, bool was_queued) {
-  transition(pkt.uid, was_queued ? State::kInQueue : State::kInFlight,
+                    const net::Packet& pkt, net::DropCause cause) {
+  transition(pkt.uid,
+             net::drop_was_queued(cause) ? State::kInQueue : State::kInFlight,
              State::kDropped, "drop");
   PortTally& tally = tallies_[&port];
-  if (was_queued) {
-    ++tally.victim_drops;
-    tally.bytes_victim_drops += pkt.size_bytes;
+  if (net::drop_is_wire(cause)) {
+    // Wire losses come after the departure count; they never contribute to
+    // the queue-level drop reconciliation.
+    ++tally.wire_drops;
+    tally.bytes_wire_drops += pkt.size_bytes;
+    ++totals_.drops_fault;
   } else {
-    ++tally.arrival_drops;
+    if (net::drop_was_queued(cause)) {
+      ++tally.victim_drops;
+      tally.bytes_victim_drops += pkt.size_bytes;
+    } else {
+      ++tally.arrival_drops;
+    }
+    tally.bytes_dropped += pkt.size_bytes;
+    if (net::drop_is_down(cause)) {
+      ++tally.down_drops;
+      ++totals_.drops_down;
+    } else {
+      ++totals_.drops_queue;
+    }
   }
-  tally.bytes_dropped += pkt.size_bytes;
   ++totals_.dropped;
   totals_.bytes_dropped += pkt.size_bytes;
-  if (trace_ != nullptr) trace_->on_drop(t, port, pkt, was_queued);
+  if (trace_ != nullptr) trace_->on_drop(t, port, pkt, cause);
 }
 
 void Audit::on_dequeue(sim::Time t, const net::OutputPort& port,
@@ -250,6 +290,9 @@ AuditReport Audit::finalize(net::Network& net, sim::Time now) {
   check_total("created", totals_.created, native.created);
   check_total("delivered", totals_.delivered, native.delivered);
   check_total("dropped", totals_.dropped, native.dropped);
+  check_total("queue drops", totals_.drops_queue, native.drops_queue);
+  check_total("down drops", totals_.drops_down, native.drops_down);
+  check_total("fault drops", totals_.drops_fault, native.drops_fault);
   check_total("bytes created", totals_.bytes_created, native.bytes_created);
   check_total("bytes delivered", totals_.bytes_delivered,
               native.bytes_delivered);
@@ -275,10 +318,14 @@ AuditReport Audit::finalize(net::Network& net, sim::Time now) {
                                     std::to_string(counted));
       }
     };
+    const net::FaultCounters& f = port.fault_counters();
     mismatch("arrivals", t.enqueued + t.arrival_drops, c.arrivals);
     mismatch("departures", t.dequeued, c.departures);
     mismatch("drops", t.arrival_drops + t.victim_drops, c.drops);
     mismatch("dropped bytes", t.bytes_dropped, c.bytes_dropped);
+    mismatch("down drops", t.down_drops, f.drops_down);
+    mismatch("wire drops", t.wire_drops, f.drops_wire);
+    mismatch("wire-dropped bytes", t.bytes_wire_drops, f.bytes_drops_wire);
     const std::int64_t ledger_queued =
         static_cast<std::int64_t>(t.enqueued) -
         static_cast<std::int64_t>(t.dequeued) -
@@ -303,22 +350,37 @@ AuditReport Audit::finalize(net::Network& net, sim::Time now) {
       bytes_in_queue += port.queue_length_bytes();
     }
     if (port.busy_record_enabled()) {
-      // Completed serializations must account for the recorded busy time
-      // exactly; while a packet is mid-serialization the open interval may
-      // exceed the tally by at most that packet's transmission time.
       const std::int64_t busy_ns =
           port.busy_in(sim::Time::zero(), now).ns();
-      const std::int64_t slack =
-          port.transmitting() && port.queue_length() > 0
-              ? port.transmission_time(port.front()).ns()
-              : 0;
-      const std::int64_t diff = busy_ns - t.tx_ns;
-      if (diff < 0 || diff > slack) {
-        std::ostringstream os;
-        os << port.name() << ": busy time " << busy_ns
-           << "ns inconsistent with " << t.tx_ns
-           << "ns of completed transmissions (slack " << slack << "ns)";
-        report.violations.push_back(os.str());
+      if (port.dynamics_applied()) {
+        // Rate changes and aborted serializations break the per-packet size
+        // arithmetic below, but the port keeps an exact clock-based ledger
+        // of served + aborted + open serialization time: the recorded busy
+        // intervals must match it to the nanosecond.
+        const std::int64_t accounted = port.busy_accounted_ns();
+        if (busy_ns != accounted) {
+          std::ostringstream os;
+          os << port.name() << ": busy time " << busy_ns
+             << "ns != dynamic-port serialization ledger " << accounted
+             << "ns";
+          report.violations.push_back(os.str());
+        }
+      } else {
+        // Completed serializations must account for the recorded busy time
+        // exactly; while a packet is mid-serialization the open interval may
+        // exceed the tally by at most that packet's transmission time.
+        const std::int64_t slack =
+            port.transmitting() && port.queue_length() > 0
+                ? port.transmission_time(port.front()).ns()
+                : 0;
+        const std::int64_t diff = busy_ns - t.tx_ns;
+        if (diff < 0 || diff > slack) {
+          std::ostringstream os;
+          os << port.name() << ": busy time " << busy_ns
+             << "ns inconsistent with " << t.tx_ns
+             << "ns of completed transmissions (slack " << slack << "ns)";
+          report.violations.push_back(os.str());
+        }
       }
     }
   });

@@ -67,6 +67,13 @@ struct AuditTotals {
   std::uint64_t bytes_delivered = 0;
   std::uint64_t bytes_dropped = 0;
   std::uint64_t bytes_in_queue = 0;
+  // Per-cause drop attribution (always sums to `dropped`):
+  //   drops_queue — buffer overflow (drop-tail rejection, random-drop victim)
+  //   drops_down  — link-down discards (rejected arrivals + flushed buffer)
+  //   drops_fault — wire impairments (loss/corruption after departure)
+  std::uint64_t drops_queue = 0;
+  std::uint64_t drops_down = 0;
+  std::uint64_t drops_fault = 0;
 };
 
 struct AuditReport {
@@ -98,7 +105,7 @@ class Audit : public net::PacketObserver {
   void on_enqueue(sim::Time t, const net::OutputPort& port,
                   const net::Packet& pkt) override;
   void on_drop(sim::Time t, const net::OutputPort& port,
-               const net::Packet& pkt, bool was_queued) override;
+               const net::Packet& pkt, net::DropCause cause) override;
   void on_dequeue(sim::Time t, const net::OutputPort& port,
                   const net::Packet& pkt) override;
   void on_deliver(sim::Time t, const net::Packet& pkt) override;
@@ -117,12 +124,15 @@ class Audit : public net::PacketObserver {
   struct PortTally {
     std::uint64_t enqueued = 0;
     std::uint64_t dequeued = 0;
-    std::uint64_t arrival_drops = 0;  // rejected arrivals
-    std::uint64_t victim_drops = 0;   // random-drop evictions
+    std::uint64_t arrival_drops = 0;  // rejected arrivals (incl. down-link)
+    std::uint64_t victim_drops = 0;   // evictions (random-drop, down flush)
+    std::uint64_t down_drops = 0;     // subset of the above: link-down cause
+    std::uint64_t wire_drops = 0;     // post-departure impairment losses
     std::uint64_t bytes_enqueued = 0;
     std::uint64_t bytes_dequeued = 0;
-    std::uint64_t bytes_dropped = 0;
+    std::uint64_t bytes_dropped = 0;  // queue-level drops only
     std::uint64_t bytes_victim_drops = 0;
+    std::uint64_t bytes_wire_drops = 0;
     std::int64_t tx_ns = 0;  // serialization time of dequeued packets
   };
 

@@ -59,16 +59,18 @@ void EventTrace::on_enqueue(sim::Time t, const net::OutputPort& port,
 }
 
 void EventTrace::on_drop(sim::Time t, const net::OutputPort& port,
-                         const net::Packet& pkt, bool was_queued) {
+                         const net::Packet& pkt, net::DropCause cause) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "{\"t\":%.9f,\"ev\":\"drop\",\"uid\":%llu,\"port\":\"%s\","
-                "\"conn\":%u,\"kind\":\"%s\",\"seq\":%u,\"victim\":%s}",
+                "\"conn\":%u,\"kind\":\"%s\",\"seq\":%u,\"cause\":\"%s\","
+                "\"victim\":%s}",
                 t.sec(), static_cast<unsigned long long>(pkt.uid),
                 port.name().c_str(), pkt.conn,
                 net::is_data(pkt) ? "data" : "ack",
                 net::is_data(pkt) ? pkt.seq : pkt.ack,
-                was_queued ? "true" : "false");
+                net::drop_cause_name(cause),
+                net::drop_was_queued(cause) ? "true" : "false");
   write_line(buf);
 }
 

@@ -5,8 +5,10 @@
 //   send         data packet handed to its source host
 //   ack          ACK packet handed to its source host
 //   enqueue      packet admitted to a port buffer      (port, queue length)
-//   drop         packet discarded at a port            (victim: true when a
-//                random-drop eviction rather than a rejected arrival)
+//   drop         packet discarded at a port            (cause: queue-tail |
+//                queue-victim | down-arrival | down-flush | wire-loss |
+//                wire-corrupt; victim: true when the packet had been
+//                admitted to the buffer before the drop)
 //   dequeue      packet finished serializing, left the buffer for the wire
 //   deliver      packet handed to its destination endpoint
 //   rto          retransmission timer expired at a sender
@@ -40,7 +42,7 @@ class EventTrace : public net::PacketObserver {
   void on_enqueue(sim::Time t, const net::OutputPort& port,
                   const net::Packet& pkt) override;
   void on_drop(sim::Time t, const net::OutputPort& port,
-               const net::Packet& pkt, bool was_queued) override;
+               const net::Packet& pkt, net::DropCause cause) override;
   void on_dequeue(sim::Time t, const net::OutputPort& port,
                   const net::Packet& pkt) override;
   void on_deliver(sim::Time t, const net::Packet& pkt) override;

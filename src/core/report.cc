@@ -74,6 +74,13 @@ void print_summary(std::ostream& os, const std::string& name,
                    std::to_string(a.dropped) + " dropped + " +
                    std::to_string(a.in_queue) + " queued + " +
                    std::to_string(a.in_flight) + " in flight"});
+    if (a.drops_down > 0 || a.drops_fault > 0) {
+      t.add_row({"drop causes",
+                 std::to_string(a.drops_queue) + " queue + " +
+                     std::to_string(a.drops_down) + " link-down + " +
+                     std::to_string(a.drops_fault) + " wire-fault = " +
+                     std::to_string(a.dropped)});
+    }
   }
   t.print(os);
 }

@@ -469,6 +469,14 @@ SweepRow summary_row(const SweepPoint& point, const ScenarioSummary& s) {
   row.add("audit_delivered",
           static_cast<std::int64_t>(s.result.audit.delivered));
   row.add("audit_dropped", static_cast<std::int64_t>(s.result.audit.dropped));
+  // Per-cause drop attribution (fault injection): always sums to
+  // audit_dropped; the down/fault columns are zero on un-faulted runs.
+  row.add("audit_drops_queue",
+          static_cast<std::int64_t>(s.result.audit.drops_queue));
+  row.add("audit_drops_down",
+          static_cast<std::int64_t>(s.result.audit.drops_down));
+  row.add("audit_drops_fault",
+          static_cast<std::int64_t>(s.result.audit.drops_fault));
   // Per-flow goodput distribution (packets/sec over the measurement window)
   // and Jain's fairness, for the many-flow Topology scenarios.
   row.add("flows", static_cast<std::int64_t>(s.flows.flows));

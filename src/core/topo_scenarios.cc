@@ -18,7 +18,86 @@ Scenario make_topo_scenario(const TopoSpec& spec) {
   s.tahoe_connections = spec.traffic.adaptive_flow_count();
   const CompiledTopology c = spec.topo.compile(*s.exp);
   spec.traffic.instantiate(*s.exp, c);
+  // Faults last: impairments attach now; outages and parameter changes
+  // become scheduler events that fire inside Experiment::run.
+  spec.faults.apply(*s.exp, c);
   return s;
+}
+
+// ---------------------------------------------------------------- chaos
+
+TopoSpec chaos_spec(const ChaosParams& p) {
+  if (p.flows == 0) throw std::invalid_argument("chaos needs >= 1 flow");
+  TopoSpec spec;
+  spec.name = "chaos";
+  spec.seed = p.seed;
+  spec.warmup = sim::Time::seconds(p.warmup_sec);
+  spec.duration = sim::Time::seconds(p.duration_sec);
+
+  Topology t;
+  const std::size_t s1 = t.add_switch("S1");
+  const std::size_t s2 = t.add_switch("S2");
+  t.add_link(s1, s2, p.trunk_bps, sim::Time::seconds(p.tau_sec),
+             net::QueueLimit::of(p.buffer));
+  for (std::size_t i = 0; i < p.flows; ++i) {
+    const std::string n = std::to_string(i + 1);
+    const std::size_t a = t.add_host("A" + n);
+    const std::size_t b = t.add_host("B" + n);
+    t.add_link(a, s1, p.access_bps, sim::Time::microseconds(100));
+    t.add_link(b, s2, p.access_bps, sim::Time::microseconds(100));
+  }
+  t.monitor(s1, s2);
+  t.monitor(s2, s1);
+  spec.topo = std::move(t);
+
+  const sim::Time spread = sim::Time::seconds(p.start_spread_sec);
+  for (std::size_t i = 0; i < p.flows; ++i) {
+    const std::string n = std::to_string(i + 1);
+    ConnSpec fwd;
+    fwd.src = "A" + n;
+    fwd.dst = "B" + n;
+    fwd.start_spread = spread;
+    fwd.seed = util::mix_seed(p.seed, 2 * i);
+    spec.traffic.add(std::move(fwd));
+    ConnSpec rev;
+    rev.src = "B" + n;
+    rev.dst = "A" + n;
+    rev.start_spread = spread;
+    rev.seed = util::mix_seed(p.seed, 2 * i + 1);
+    spec.traffic.add(std::move(rev));
+  }
+
+  FaultPlan faults;
+  faults.set_seed(util::mix_seed(p.seed, 0xfa17));
+  if (p.ge_p_good_to_bad > 0.0 && p.ge_loss_bad > 0.0) {
+    // Burst loss on the reverse trunk direction only: forward data flows
+    // lose ACKs, reverse data flows lose data — the asymmetry the two-way
+    // traffic story is about.
+    LinkImpairment imp;
+    imp.link = {"S1", "S2", FaultDir::kBA};
+    net::GilbertElliott ge;
+    ge.p_good_to_bad = p.ge_p_good_to_bad;
+    ge.p_bad_to_good = p.ge_p_bad_to_good;
+    ge.loss_bad = p.ge_loss_bad;
+    imp.model.gilbert = ge;
+    faults.add_impairment(std::move(imp));
+  }
+  for (std::size_t k = 0; k < p.flaps && p.outage_sec > 0.0; ++k) {
+    LinkOutage o;
+    o.link = {"S1", "S2", FaultDir::kBoth};
+    o.at = sim::Time::seconds(p.warmup_sec +
+                              p.flap_period_sec * static_cast<double>(k + 1));
+    o.duration = sim::Time::seconds(p.outage_sec);
+    o.policy = p.discard_on_down ? net::DownPolicy::kDiscard
+                                 : net::DownPolicy::kDrain;
+    faults.add_outage(std::move(o));
+  }
+  spec.faults = std::move(faults);
+  return spec;
+}
+
+Scenario chaos_scenario(const ChaosParams& p) {
+  return make_topo_scenario(chaos_spec(p));
 }
 
 // ----------------------------------------------------------------- ring

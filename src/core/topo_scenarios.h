@@ -15,8 +15,39 @@ namespace tcpdyn::core {
 
 // Builds a runnable scenario from a parsed topology-file spec (the
 // `tcpdyn_run topo --file=...` path): compiles the graph, instantiates the
-// traffic matrix, and carries over the run parameters.
+// traffic matrix, applies any fault plan, and carries over the run
+// parameters.
 Scenario make_topo_scenario(const TopoSpec& spec);
+
+// --- chaos: the two-way dumbbell under link dynamics ----------------------
+// The paper's Fig. 4 setup — two-way Tahoe traffic over one bottleneck —
+// but the bottleneck misbehaves: the reverse (ACK-carrying) direction runs
+// a Gilbert-Elliott burst-loss model, and the whole trunk flaps down
+// periodically during the measurement window. Exercises blackout recovery,
+// RTO backoff, and lossy-ACK asymmetry while the conservation audit holds.
+struct ChaosParams {
+  double tau_sec = 0.01;            // trunk propagation delay
+  std::size_t buffer = 20;          // trunk buffer (packets, each way)
+  std::size_t flows = 4;            // flows per direction
+  std::int64_t trunk_bps = 50'000;
+  std::int64_t access_bps = 10'000'000;
+  double ge_p_good_to_bad = 0.02;   // reverse-trunk burst-loss model
+  double ge_p_bad_to_good = 0.3;
+  double ge_loss_bad = 0.5;
+  double outage_sec = 2.0;          // duration of each trunk flap
+  double flap_period_sec = 60.0;    // gap between flap starts
+  std::size_t flaps = 3;            // first flap at warmup + period
+  bool discard_on_down = false;     // kDiscard instead of kDrain
+  std::uint64_t seed = 42;
+  double start_spread_sec = 5.0;
+  double warmup_sec = 100.0;
+  double duration_sec = 400.0;
+};
+
+// The TopoSpec (graph + traffic + fault plan) behind the scenario, exposed
+// so tools can inspect or re-parameterize it.
+TopoSpec chaos_spec(const ChaosParams& params);
+Scenario chaos_scenario(const ChaosParams& params);
 
 // --- ring: N switches in a cycle, one host each --------------------------
 // The smallest topology with equal-cost path ties (an even-length ring has

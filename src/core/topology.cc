@@ -364,6 +364,18 @@ TopoSpec parse_topology(std::istream& in) {
       }
       spec.traffic.add(std::move(c));
       ++flow_index;
+    } else if (word == "fault") {
+      want(1, "fault down|rate|delay|loss|gilbert|corrupt|reorder|seed ...");
+      // Node/link references resolve at FaultPlan::apply time (after
+      // compile); here only the directive grammar is validated. Validate
+      // node names eagerly where the directive's positional layout lets us,
+      // for a line-numbered error.
+      if (args.size() >= 3 && args[0] != "seed") {
+        if (!spec.topo.has_node(args[1]) || !spec.topo.has_node(args[2])) {
+          parse_error(lineno, "fault endpoints must be declared nodes");
+        }
+      }
+      parse_fault_directive(spec.faults, args, static_cast<int>(lineno));
     } else if (word == "warmup") {
       want(1, "warmup SEC");
       spec.warmup = sim::Time::seconds(to_double(args[0], lineno, word));

@@ -28,6 +28,7 @@
 
 #include "core/conn_spec.h"
 #include "core/experiment.h"
+#include "core/fault_plan.h"
 
 namespace tcpdyn::core {
 
@@ -139,11 +140,13 @@ class TrafficMatrix {
   std::vector<ConnSpec> specs_;
 };
 
-// A parsed topology-file scenario: graph, traffic, and run parameters.
+// A parsed topology-file scenario: graph, traffic, run parameters, and any
+// fault schedule declared alongside them.
 struct TopoSpec {
   std::string name = "topo";
   Topology topo;
   TrafficMatrix traffic;
+  FaultPlan faults;
   sim::Time warmup = sim::Time::seconds(100.0);
   sim::Time duration = sim::Time::seconds(400.0);
   double epoch_gap_sec = 2.0;
@@ -159,6 +162,8 @@ struct TopoSpec {
 //   flow SRC DST [count=N] [kind=tahoe|reno|fixed] [window=W] [start=SEC]
 //        [spread=SEC] [stop=SEC] [seed=N] [maxwnd=W] [delayed_ack=0|1]
 //        [pacing=SEC] [data=BYTES] [ack=BYTES]
+//   fault down|rate|delay|loss|gilbert|corrupt|reorder|seed ...
+//                              mid-run link events (see core/fault_plan.h)
 //   warmup SEC | duration SEC | epoch_gap SEC | seed N
 // '#' starts a comment. Throws std::invalid_argument with the line number
 // on malformed input.

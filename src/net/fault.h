@@ -1,0 +1,166 @@
+// Link-dynamics and impairment primitives: what can go wrong with a link
+// mid-run, and how the accounting names it. The paper's network is static
+// and error-free; this header is the vocabulary the fault-injection layer
+// (core::FaultPlan) speaks when it perturbs a port at runtime.
+//
+// Determinism: every random decision here is drawn from a per-port
+// util::Rng stream seeded once at attach time, and advanced exactly once
+// per serialized packet in a fixed draw order (loss, corruption, reorder —
+// see ImpairmentState::next). The loss/corrupt/reorder sequence is
+// therefore a pure function of (model, seed, packet index), independent of
+// event interleaving elsewhere in the simulation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace tcpdyn::net {
+
+// Why a packet was discarded. The first two are the classic queue-full
+// causes that existed before fault injection; the rest are minted by link
+// dynamics. Queue-level causes are counted inside QueueCounters::drops
+// (the packet never left the buffer side of the port); wire-level causes
+// happen after the departure count and live in FaultCounters::drops_wire.
+enum class DropCause : std::uint8_t {
+  kQueueTail,    // arrival rejected, buffer full (drop-tail)
+  kQueueVictim,  // random-drop eviction of a queued occupant
+  kDownArrival,  // arrival rejected: link down, discard policy
+  kDownFlush,    // queued packet flushed when the link went down
+  kWireLoss,     // lost on the wire by an impairment model
+  kWireCorrupt,  // corrupted on the wire; receiver would discard it
+};
+
+// Whether the packet had been admitted to the buffer before the drop (the
+// audit's in-queue vs in-flight distinction).
+constexpr bool drop_was_queued(DropCause c) {
+  return c == DropCause::kQueueVictim || c == DropCause::kDownFlush;
+}
+
+// Down-link drops, attributed separately from ordinary queue overflow.
+constexpr bool drop_is_down(DropCause c) {
+  return c == DropCause::kDownArrival || c == DropCause::kDownFlush;
+}
+
+// Post-departure drops (never part of QueueCounters::drops).
+constexpr bool drop_is_wire(DropCause c) {
+  return c == DropCause::kWireLoss || c == DropCause::kWireCorrupt;
+}
+
+constexpr const char* drop_cause_name(DropCause c) {
+  switch (c) {
+    case DropCause::kQueueTail: return "queue-tail";
+    case DropCause::kQueueVictim: return "queue-victim";
+    case DropCause::kDownArrival: return "down-arrival";
+    case DropCause::kDownFlush: return "down-flush";
+    case DropCause::kWireLoss: return "wire-loss";
+    case DropCause::kWireCorrupt: return "wire-corrupt";
+  }
+  return "?";
+}
+
+// What a down link does with its buffer.
+enum class DownPolicy : std::uint8_t {
+  kDrain,    // keep queued packets; transmission resumes on link-up
+  kDiscard,  // flush the queue and reject arrivals while down
+};
+
+// Two-state Markov burst-loss model (Gilbert-Elliott). Each serialized
+// packet is lost with the current state's loss probability, then the state
+// transitions. Stationary bad-state fraction: p_gb / (p_gb + p_bg).
+struct GilbertElliott {
+  double p_good_to_bad = 0.0;
+  double p_bad_to_good = 1.0;
+  double loss_good = 0.0;
+  double loss_bad = 1.0;
+};
+
+// Per-direction wire impairment configuration. All fields compose: a link
+// can burst-lose, corrupt, and reorder at once. Zero probabilities (the
+// default) make the corresponding stage draw-free.
+struct Impairment {
+  double loss = 0.0;                      // i.i.d. loss probability
+  std::optional<GilbertElliott> gilbert;  // burst loss (overrides `loss`)
+  double corrupt = 0.0;                   // corruption probability
+  double reorder = 0.0;                   // extra-delay probability
+  sim::Time reorder_max = sim::Time::zero();  // extra-delay bound
+
+  bool any() const {
+    return loss > 0.0 || gilbert.has_value() || corrupt > 0.0 ||
+           reorder > 0.0;
+  }
+};
+
+// Drop-and-byte tallies a port keeps for the fault-attribution columns.
+// drops_down is a subset of QueueCounters::drops (down-link discards still
+// balance the queue's own conservation law); drops_wire counts packets that
+// had already departed the queue and died on the wire.
+struct FaultCounters {
+  std::uint64_t drops_down = 0;
+  std::uint64_t drops_wire = 0;
+  std::uint64_t bytes_drops_down = 0;
+  std::uint64_t bytes_drops_wire = 0;
+};
+
+// Outcome of the wire lottery for one serialized packet.
+struct WireDecision {
+  bool lost = false;                           // drop instead of propagate
+  DropCause cause = DropCause::kWireLoss;      // valid when lost
+  sim::Time extra_delay = sim::Time::zero();   // <= model.reorder_max
+};
+
+// The per-port impairment state: model + RNG stream + Gilbert-Elliott
+// state bit. next() is the ONLY consumer of the stream, with a fixed draw
+// order per packet:
+//   1. loss    — Gilbert-Elliott: one uniform for loss in the current
+//                state, one uniform for the state transition (both drawn
+//                every packet, so the stream position never depends on the
+//                outcome); plain i.i.d.: one uniform when loss > 0.
+//   2. corrupt — one uniform when corrupt > 0 and the packet survived 1.
+//   3. reorder — one uniform when reorder > 0 and the packet survived 1-2;
+//                if taken, the extra delay is next_below(reorder_max + 1)
+//                integer nanoseconds (exact, no float rounding).
+class ImpairmentState {
+ public:
+  ImpairmentState(const Impairment& model, std::uint64_t seed)
+      : model_(model), rng_(seed) {}
+
+  WireDecision next() {
+    WireDecision d;
+    if (model_.gilbert.has_value()) {
+      const GilbertElliott& ge = *model_.gilbert;
+      const double p_loss = bad_ ? ge.loss_bad : ge.loss_good;
+      d.lost = rng_.next_double() < p_loss;
+      const double p_flip = bad_ ? ge.p_bad_to_good : ge.p_good_to_bad;
+      if (rng_.next_double() < p_flip) bad_ = !bad_;
+    } else if (model_.loss > 0.0) {
+      d.lost = rng_.next_double() < model_.loss;
+    }
+    if (d.lost) return d;
+    if (model_.corrupt > 0.0 && rng_.next_double() < model_.corrupt) {
+      d.lost = true;
+      d.cause = DropCause::kWireCorrupt;
+      return d;
+    }
+    if (model_.reorder > 0.0 && rng_.next_double() < model_.reorder) {
+      const std::int64_t bound = model_.reorder_max.ns();
+      if (bound > 0) {
+        d.extra_delay = sim::Time::nanoseconds(static_cast<std::int64_t>(
+            rng_.next_below(static_cast<std::uint64_t>(bound) + 1)));
+      }
+    }
+    return d;
+  }
+
+  const Impairment& model() const { return model_; }
+  bool in_bad_state() const { return bad_; }
+
+ private:
+  Impairment model_;
+  util::Rng rng_;
+  bool bad_ = false;  // Gilbert-Elliott state; starts good
+};
+
+}  // namespace tcpdyn::net

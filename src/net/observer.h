@@ -3,12 +3,15 @@
 // a fixed state machine:
 //
 //   create ──► enqueue ──► dequeue ──► deliver
-//      │          │
-//      └─ drop    └─ drop (random-drop victim, was_queued = true)
+//      │          │            │
+//      └─ drop    └─ drop      └─ drop (wire impairment)
 //
-// with enqueue/dequeue repeating once per hop. The observer sees every
-// transition, which is what the conservation audit (core::Audit) and the
-// structured event trace (core::EventTrace) are built on.
+// with enqueue/dequeue repeating once per hop. Every drop carries a
+// DropCause (net/fault.h) naming which branch fired: a rejected arrival
+// (queue-tail or down-link discard), an evicted occupant (random-drop
+// victim or down-link flush), or a post-departure wire loss. The observer
+// sees every transition, which is what the conservation audit (core::Audit)
+// and the structured event trace (core::EventTrace) are built on.
 //
 // The observer is a single nullable pointer per port/host, installed via
 // Network::set_observer; when unset (the default, and always the case for
@@ -17,6 +20,7 @@
 // (OutputPort::on_drop etc.), which Experiment already occupies.
 #pragma once
 
+#include "net/fault.h"
 #include "net/packet.h"
 #include "sim/time.h"
 
@@ -35,10 +39,13 @@ class PacketObserver {
   virtual void on_enqueue(sim::Time t, const OutputPort& port,
                           const Packet& pkt) = 0;
 
-  // `pkt` was discarded at `port`. `was_queued` distinguishes a random-drop
-  // victim (previously admitted, now evicted) from a rejected arrival.
+  // `pkt` was discarded at `port`. `cause` says which drop branch fired;
+  // drop_was_queued(cause) distinguishes a previously admitted packet
+  // (random-drop victim, down-link flush) from a rejected arrival, and
+  // drop_is_wire(cause) marks post-departure losses (the packet already
+  // counted as a queue departure).
   virtual void on_drop(sim::Time t, const OutputPort& port, const Packet& pkt,
-                       bool was_queued) = 0;
+                       DropCause cause) = 0;
 
   // `pkt` finished serializing and left `port`'s buffer for the wire.
   virtual void on_dequeue(sim::Time t, const OutputPort& port,

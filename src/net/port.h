@@ -1,6 +1,10 @@
 // OutputPort: a drop-tail queue feeding a simplex transmitter. Models
 // store-and-forward serialization at `bits_per_second` followed by a fixed
-// propagation delay to the peer node. Error-free transmission (paper §2.2).
+// propagation delay to the peer node. Transmission is error-free by default
+// (paper §2.2); the fault-injection layer can perturb a port at runtime —
+// take the link down/up, change its rate or delay mid-serialization, and
+// attach a wire impairment model (net/fault.h) — all via scheduler events,
+// so faulted runs stay byte-identical per seed.
 //
 // Observability: the port exposes counters, an opt-in busy-interval record
 // for exact utilization computation (enable_busy_record(); monitored ports
@@ -12,9 +16,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "net/fault.h"
 #include "net/node.h"
 #include "net/observer.h"
 #include "net/packet.h"
@@ -79,6 +85,57 @@ class OutputPort {
   // Busy fraction of [from, to]; 0 for an empty window.
   double utilization(sim::Time from, sim::Time to) const;
 
+  // ---- Link dynamics (fault injection) -----------------------------------
+  // All of these may be called mid-run from scheduler events. Calling any of
+  // them marks the port dynamic (dynamics_applied()), which switches the
+  // audit's busy-time cross-check to the exact busy_accounted_ns() ledger.
+  // A port never touched by these calls pays nothing on the hot path beyond
+  // one predictable branch per packet.
+
+  // Takes the link down or up. Down: an in-flight serialization is aborted
+  // (the frame is lost work; the head packet stays buffered and re-serializes
+  // from scratch on link-up, so on_depart can fire more than once for it);
+  // under DownPolicy::kDiscard the buffer is flushed (each occupant dropped
+  // with DropCause::kDownFlush) and arrivals are rejected while down
+  // (DropCause::kDownArrival). Under kDrain the buffer holds and keeps
+  // accepting arrivals up to its limit. Packets already propagating on the
+  // wire still deliver — cutting a link does not destroy light in transit.
+  void set_link_up(bool up);
+  bool link_up() const { return up_; }
+
+  void set_down_policy(DownPolicy policy) { down_policy_ = policy; }
+  DownPolicy down_policy() const { return down_policy_; }
+
+  // Changes the line rate. A packet mid-serialization is re-armed: the
+  // fraction already sent stays sent, and the remainder drains at the new
+  // rate (exact integer arithmetic, no drift).
+  void set_rate(std::int64_t bits_per_second);
+
+  // Changes the propagation delay for future departures; packets already on
+  // the wire keep the delay they left with.
+  void set_propagation_delay(sim::Time delay);
+
+  // Attaches (or replaces) a wire impairment model with its own RNG stream.
+  // Each dequeued packet consults the model once, in serialization order.
+  void attach_impairment(const Impairment& model, std::uint64_t seed);
+  const ImpairmentState* impairment() const { return impair_.get(); }
+
+  const FaultCounters& fault_counters() const { return fault_counters_; }
+
+  // True once any dynamics call has touched this port.
+  bool dynamics_applied() const { return dynamic_; }
+
+  // Exact nanoseconds of transmitter busy time since t=0: completed
+  // serializations + aborted serialization work + the open one. Equals
+  // busy_in(0, now) whenever busy recording was on from the start; the audit
+  // uses it for dynamic ports, where per-packet size arithmetic can no
+  // longer reconstruct busy time.
+  std::int64_t busy_accounted_ns() const {
+    std::int64_t total = served_tx_ns_ + aborted_tx_ns_;
+    if (transmitting_) total += (sim_.now() - tx_started_).ns();
+    return total;
+  }
+
   // Hooks (any may be left unset).
   std::function<void(sim::Time, std::size_t)> on_queue_change;
   std::function<void(sim::Time, const Packet&)> on_depart;
@@ -97,6 +154,15 @@ class OutputPort {
   PacketObserver* observer_ = nullptr;
   bool transmitting_ = false;
   bool record_busy_ = false;
+  bool up_ = true;
+  bool dynamic_ = false;
+  DownPolicy down_policy_ = DownPolicy::kDrain;
+  std::unique_ptr<ImpairmentState> impair_;  // null: error-free wire
+  sim::EventHandle tx_done_;    // pending finish_transmission event
+  sim::Time tx_started_;        // when the open serialization began
+  std::int64_t served_tx_ns_ = 0;   // completed serialization time
+  std::int64_t aborted_tx_ns_ = 0;  // serialization work lost to link-down
+  FaultCounters fault_counters_;
   std::vector<BusyInterval> busy_;  // merged, ordered; open last interval while transmitting
 };
 

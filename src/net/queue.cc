@@ -50,6 +50,24 @@ EnqueueResult DropTailQueue::offer(Packet pkt, bool protect_front) {
   return result;
 }
 
+void DropTailQueue::count_rejected(const Packet& pkt) {
+  ++counters_.arrivals;
+  counters_.bytes_arrived += pkt.size_bytes;
+  count_drop(pkt);
+}
+
+std::vector<Packet> DropTailQueue::flush() {
+  std::vector<Packet> flushed;
+  flushed.reserve(packets_.size());
+  while (!packets_.empty()) {
+    Packet pkt = packets_.pop_front();
+    bytes_ -= pkt.size_bytes;
+    count_drop(pkt);
+    flushed.push_back(pkt);
+  }
+  return flushed;
+}
+
 std::optional<Packet> DropTailQueue::pop() {
   if (packets_.empty()) return std::nullopt;
   Packet pkt = packets_.pop_front();

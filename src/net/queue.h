@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <limits>
 #include <optional>
+#include <vector>
 
 #include "net/packet.h"
 #include "net/packet_ring.h"
@@ -85,6 +86,17 @@ class DropTailQueue {
 
   // Removes and returns the head packet; nullopt when empty.
   std::optional<Packet> pop();
+
+  // Counts `pkt` as an arrival immediately dropped without admission —
+  // used by down links in discard mode, which reject packets before the
+  // buffer is consulted at all. Keeps the conservation law intact:
+  // arrivals == departures + drops + length().
+  void count_rejected(const Packet& pkt);
+
+  // Empties the buffer, counting every occupant as a drop, and returns the
+  // flushed packets in FIFO order so the port can report each one to the
+  // observer. Used by down links in discard mode.
+  std::vector<Packet> flush();
 
   const Packet& front() const { return packets_.front(); }
   bool empty() const { return packets_.empty(); }

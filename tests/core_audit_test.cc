@@ -95,7 +95,7 @@ TEST(AuditLedger, CatchesUncountedDrop) {
   b.sim.run_until(sim::Time::seconds(5.0));
   net::Packet ghost = b.packet();
   b.audit.on_drop(b.sim.now(), *b.net.port_between(b.s1, b.s2), ghost,
-                  /*was_queued=*/false);
+                  net::DropCause::kQueueTail);
   const AuditReport report = b.audit.finalize(b.net, b.sim.now());
   EXPECT_FALSE(report.ok);
   EXPECT_FALSE(report.violations.empty());

@@ -7,10 +7,15 @@
 //   * per-port utilization within [0, 1]; queue never exceeds its buffer
 //   * deliveries never exceed distinct transmissions
 //   * determinism: the same seed reproduces identical results
+//   * under a random fault plan (trunk impairments, short outages) the full
+//     conservation ledger still closes and every drop is attributed to
+//     exactly one cause: queue + down + fault == dropped
 #include <gtest/gtest.h>
 
 #include "core/chain.h"
 #include "core/experiment.h"
+#include "net/fault.h"
+#include "net/port.h"
 #include "util/rng.h"
 
 namespace tcpdyn::core {
@@ -20,7 +25,60 @@ struct FuzzOutcome {
   std::map<net::ConnId, std::uint64_t> delivered;
   std::vector<double> utilizations;
   std::size_t drops;
+  AuditTotals audit;
 };
+
+// Perturbs the fuzzed network with a seeded fault plan drawn from the same
+// stream as the topology: a mild impairment on one random trunk direction
+// (kept gentle so every connection still delivers) and up to two short
+// outages. All decisions come from `rng`, so the whole faulted run stays a
+// pure function of the fuzz seed.
+void inject_random_faults(util::Rng& rng, Experiment& exp,
+                          const std::vector<net::NodeId>& switches) {
+  auto& net = exp.network();
+  std::vector<net::OutputPort*> trunks;
+  for (std::size_t i = 0; i + 1 < switches.size(); ++i) {
+    trunks.push_back(net.port_between(switches[i], switches[i + 1]));
+    trunks.push_back(net.port_between(switches[i + 1], switches[i]));
+  }
+  if (rng.next_below(2) == 0) {
+    net::Impairment model;
+    switch (rng.next_below(3)) {
+      case 0:
+        model.loss = rng.uniform(0.01, 0.12);
+        break;
+      case 1: {
+        net::GilbertElliott ge;
+        ge.p_good_to_bad = rng.uniform(0.005, 0.05);
+        ge.p_bad_to_good = rng.uniform(0.3, 0.7);
+        ge.loss_bad = rng.uniform(0.1, 0.4);
+        model.gilbert = ge;
+        break;
+      }
+      default:
+        model.reorder = rng.uniform(0.1, 0.6);
+        model.reorder_max = sim::Time::milliseconds(
+            static_cast<std::int64_t>(1 + rng.next_below(50)));
+        break;
+    }
+    trunks[rng.next_below(trunks.size())]->attach_impairment(model,
+                                                             rng.next_u64());
+  }
+  const std::size_t outages = rng.next_below(3);  // 0..2
+  for (std::size_t k = 0; k < outages; ++k) {
+    net::OutputPort* port = trunks[rng.next_below(trunks.size())];
+    const double at = rng.uniform(5.0, 120.0);
+    const double dur = rng.uniform(0.2, 2.0);
+    const auto policy = rng.next_below(2) == 0 ? net::DownPolicy::kDrain
+                                               : net::DownPolicy::kDiscard;
+    exp.sim().schedule_at(sim::Time::seconds(at), [port, policy] {
+      port->set_down_policy(policy);
+      port->set_link_up(false);
+    });
+    exp.sim().schedule_at(sim::Time::seconds(at + dur),
+                          [port] { port->set_link_up(true); });
+  }
+}
 
 FuzzOutcome run_fuzz(std::uint64_t seed) {
   util::Rng rng(seed);
@@ -63,6 +121,10 @@ FuzzOutcome run_fuzz(std::uint64_t seed) {
     exp.monitor(switches[i], switches[i + 1]);
     exp.monitor(switches[i + 1], switches[i]);
   }
+  // Full ledger on every fuzzed run: Experiment::run throws on any
+  // conservation violation, faulted or not.
+  exp.set_audit_mode(AuditMode::kFull);
+  inject_random_faults(rng, exp, switches);
 
   const std::size_t n_conns = 2 + rng.next_below(7);
   for (std::size_t c = 0; c < n_conns; ++c) {
@@ -89,6 +151,14 @@ FuzzOutcome run_fuzz(std::uint64_t seed) {
   FuzzOutcome out;
   out.delivered = r.delivered;
   out.drops = r.drops.size();
+  out.audit = r.audit;
+  // Whatever the fault plan did, every drop carries exactly one cause.
+  EXPECT_EQ(r.audit.drops_queue + r.audit.drops_down + r.audit.drops_fault,
+            r.audit.dropped)
+      << "seed " << seed;
+  EXPECT_EQ(r.audit.created, r.audit.delivered + r.audit.dropped +
+                                 r.audit.in_queue + r.audit.in_flight)
+      << "seed " << seed;
   for (const auto& port : r.ports) {
     out.utilizations.push_back(port.utilization);
     EXPECT_GE(port.utilization, 0.0);
@@ -108,6 +178,12 @@ TEST_P(FuzzTopology, InvariantsHoldAndDeterministic) {
   EXPECT_EQ(a.delivered, b.delivered);
   EXPECT_EQ(a.drops, b.drops);
   EXPECT_EQ(a.utilizations, b.utilizations);
+  // The fault plan (impairment streams included) replays with the seed.
+  EXPECT_EQ(a.audit.created, b.audit.created);
+  EXPECT_EQ(a.audit.dropped, b.audit.dropped);
+  EXPECT_EQ(a.audit.drops_queue, b.audit.drops_queue);
+  EXPECT_EQ(a.audit.drops_down, b.audit.drops_down);
+  EXPECT_EQ(a.audit.drops_fault, b.audit.drops_fault);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTopology,

@@ -110,15 +110,15 @@ class RecordingObserver : public PacketObserver {
  public:
   struct Drop {
     std::uint32_t seq;
-    bool was_queued;
+    DropCause cause;
   };
   void on_create(sim::Time, const Packet&) override {}
   void on_enqueue(sim::Time, const OutputPort&, const Packet&) override {
     ++enqueues;
   }
   void on_drop(sim::Time, const OutputPort&, const Packet& pkt,
-               bool was_queued) override {
-    drops.push_back({pkt.seq, was_queued});
+               DropCause cause) override {
+    drops.push_back({pkt.seq, cause});
   }
   void on_dequeue(sim::Time, const OutputPort&, const Packet&) override {}
   void on_deliver(sim::Time, const Packet&) override {}
@@ -143,7 +143,10 @@ TEST(RandomDropPort, VictimDropsReachHookAndObserver) {
   EXPECT_EQ(port.counters().drops, kOffers - 3);
   // With seed 7 and 4 candidates per full-queue offer, both kinds occur.
   int victims = 0, rejected = 0;
-  for (const auto& d : obs.drops) (d.was_queued ? victims : rejected)++;
+  for (const auto& d : obs.drops) {
+    (d.cause == DropCause::kQueueVictim ? victims : rejected)++;
+    EXPECT_EQ(drop_was_queued(d.cause), d.cause == DropCause::kQueueVictim);
+  }
   EXPECT_GT(victims, 0) << "random-drop victims invisible again (push bug)";
   EXPECT_GT(rejected, 0);
   // Victim drops imply the arrival was admitted: enqueues = accepted offers.

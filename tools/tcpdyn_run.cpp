@@ -28,9 +28,18 @@ void declare_flags(util::Flags& flags) {
   flags
       .flag("scenario", "NAME",
             "fig2|fig3|fig4|fig6|fig8|fig9|oneway|twoway|fixed|chain|ring|"
-            "parking-lot|waxman|topo (also accepted positionally)",
+            "parking-lot|waxman|chaos|topo (also accepted positionally)",
             "fig4")
       .flag("file", "PATH", "topology file (scenario topo)", "")
+      .flag("faults", "PATH",
+            "fault-schedule file applied on top of the topology "
+            "(scenario topo; see core/fault_plan.h for the grammar)", "")
+      .flag("loss", "PROB", "chaos reverse-trunk burst-loss peak", 0.5)
+      .flag("outage", "SEC", "chaos trunk-flap duration", 2.0)
+      .flag("flap-period", "SEC", "chaos gap between trunk flaps", 60.0)
+      .flag("flaps", "N", "chaos trunk-flap count", 3)
+      .flag("discard-on-down", "chaos down links discard instead of drain",
+            false)
       .flag("tau", "SEC", "bottleneck propagation delay", 0.01)
       .flag("buffer", "PKTS", "bottleneck buffer", 20)
       .flag("conns", "N", "connection / flow count", 2)
@@ -150,12 +159,45 @@ core::Scenario build(const std::string& which, const util::Flags& flags) {
     p.seed = seed;
     return core::waxman_scenario(p);
   }
+  if (which == "chaos") {
+    core::ChaosParams p;
+    if (flags.has("tau")) p.tau_sec = flags.get_double("tau");
+    if (flags.has("buffer")) p.buffer = size("buffer");
+    if (flags.has("conns")) p.flows = size("conns");
+    p.ge_loss_bad = flags.get_double("loss");
+    p.outage_sec = flags.get_double("outage");
+    p.flap_period_sec = flags.get_double("flap-period");
+    p.flaps = size("flaps");
+    p.discard_on_down = flags.get_bool("discard-on-down");
+    // Flap times are anchored to the warmup boundary, so the overrides must
+    // reach the params (the post-build scenario override alone would leave
+    // the flaps scheduled past the end of a shortened run).
+    if (flags.has("warmup")) p.warmup_sec = flags.get_double("warmup");
+    if (flags.has("duration")) p.duration_sec = flags.get_double("duration");
+    p.seed = seed;
+    return core::chaos_scenario(p);
+  }
   if (which == "topo") {
     const std::string file = flags.get("file");
     if (file.empty()) {
       throw std::invalid_argument("scenario topo requires --file");
     }
-    return core::make_topo_scenario(core::load_topology_file(file));
+    core::TopoSpec spec = core::load_topology_file(file);
+    if (flags.has("faults")) {
+      // A standalone fault schedule composes with (and after) any fault
+      // stanzas the .topo file itself declares.
+      core::FaultPlan extra = core::load_fault_file(flags.get("faults"));
+      if (extra.seed() != spec.faults.seed()) {
+        spec.faults.set_seed(extra.seed());
+      }
+      for (const auto& o : extra.outages()) spec.faults.add_outage(o);
+      for (const auto& c : extra.rate_changes()) spec.faults.add_rate_change(c);
+      for (const auto& c : extra.delay_changes()) {
+        spec.faults.add_delay_change(c);
+      }
+      for (const auto& i : extra.impairments()) spec.faults.add_impairment(i);
+    }
+    return core::make_topo_scenario(spec);
   }
   throw std::invalid_argument("unknown scenario '" + which + "'");
 }

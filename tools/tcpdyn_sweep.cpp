@@ -37,7 +37,7 @@ void declare_flags(util::Flags& flags) {
   flags
       .flag("scenario", "NAME",
             "fig2|fig3|fig4|fig6|fixed|reno|paced|random-drop|delayed-ack|"
-            "rtt|chain|ring|parking-lot|waxman",
+            "rtt|chain|ring|parking-lot|waxman|chaos",
             "fig4")
       .flag("grid", "SPEC", "axis spec (required)", "")
       .flag("jobs", "N", "worker threads (0 = all hardware threads)", 0)
@@ -57,6 +57,10 @@ void declare_flags(util::Flags& flags) {
       .flag("long-flows", "N", "parking-lot end-to-end flows", "")
       .flag("cross-per-hop", "N", "parking-lot cross flows per trunk", "")
       .flag("switches", "N", "ring/waxman switch count", "")
+      .flag("loss", "PROB", "chaos reverse-trunk burst-loss peak", "")
+      .flag("outage", "SEC", "chaos trunk-flap duration", "")
+      .flag("flap-period", "SEC", "chaos gap between trunk flaps", "")
+      .flag("flaps", "N", "chaos trunk-flap count", "")
       .flag("progress", "log per-point progress and ETA to stderr", false)
       .flag("quiet", "suppress the summary table on stdout", false)
       .flag("audit", "off|counters|full", "conservation-check strength", "")
@@ -157,6 +161,29 @@ core::Scenario build_scenario(const std::string& which,
     p.flows = as_size(param(pt, flags, "conns", 32));
     p.seed = pt.seed;
     return core::waxman_scenario(p);
+  }
+  if (which == "chaos") {
+    core::ChaosParams p;
+    p.tau_sec = param(pt, flags, "tau", p.tau_sec);
+    p.buffer = as_size(param(pt, flags, "buffer",
+                             static_cast<double>(p.buffer)));
+    p.flows = as_size(param(pt, flags, "conns",
+                            static_cast<double>(p.flows)));
+    p.ge_loss_bad = param(pt, flags, "loss", p.ge_loss_bad);
+    p.outage_sec = param(pt, flags, "outage", p.outage_sec);
+    p.flap_period_sec = param(pt, flags, "flap-period", p.flap_period_sec);
+    p.flaps = as_size(param(pt, flags, "flaps",
+                            static_cast<double>(p.flaps)));
+    // Flap times anchor to the warmup boundary; route the overrides into
+    // the params so shortened runs still see their outages.
+    if (flags.has("warmup")) {
+      p.warmup_sec = flags.get_double("warmup", p.warmup_sec);
+    }
+    if (flags.has("duration")) {
+      p.duration_sec = flags.get_double("duration", p.duration_sec);
+    }
+    p.seed = pt.seed;
+    return core::chaos_scenario(p);
   }
   throw std::invalid_argument("unknown scenario '" + which + "'");
 }
