@@ -4,7 +4,9 @@
 // scheduler micro (schedule/cancel/dispatch), queue micro (ring push/pop and
 // random-drop victim erase), the paper's Fig-2 and Fig-6 scenarios
 // end-to-end, a 512-flow parking-lot macro run (the Topology layer at
-// scale), and a 16-point Fig-4 sweep — and reports events/sec, packets/sec,
+// scale), a 3×3 congestion-control head-to-head matrix (the strategy
+// dispatch plus SACK/CUBIC/Vegas code paths), and a 16-point Fig-4 sweep —
+// and reports events/sec, packets/sec,
 // wall time, and peak RSS as JSON.
 //
 //   bench_perf_core --out BENCH_core.json              # measure
@@ -38,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cc_matrix.h"
 #include "core/scenarios.h"
 #include "core/sweep.h"
 #include "core/topo_scenarios.h"
@@ -167,6 +170,28 @@ WorkloadResult run_scenario_workload(const std::string& name,
   for (const auto& port : result.ports) {
     r.packets += port.counters.arrivals;
   }
+  return r;
+}
+
+// Congestion-control zoo head-to-head: a 3×3 matrix (NewReno, CUBIC,
+// Vegas) of short dumbbell cells. Exercises the strategy dispatch on the
+// per-ACK hot path plus the paths the classic scenarios never touch — the
+// SACK scoreboard, CUBIC's integer cube-root epochs, and Vegas' per-epoch
+// backlog estimate.
+WorkloadResult run_cc_matrix_small(double scale) {
+  WorkloadResult r;
+  r.name = "cc_matrix_small";
+  core::CcMatrixParams p;
+  p.algos = {tcp::CcAlgorithm::kNewReno, tcp::CcAlgorithm::kCubic,
+             tcp::CcAlgorithm::kVegas};
+  p.warmup_sec = 10.0 * scale;
+  p.duration_sec = 300.0 * scale;
+  const double t0 = now_sec();
+  const core::CcMatrixResult m = core::run_cc_matrix(p);
+  r.wall_sec = now_sec() - t0;
+  r.events = m.events;
+  r.packets = m.audit.created;
+  r.sim_seconds = 9.0 * (p.warmup_sec + p.duration_sec);
   return r;
 }
 
@@ -350,6 +375,7 @@ int main(int argc, char** argv) {
     r.wall_sec = now_sec() - t0;
     return r;
   }));
+  results.push_back(best_of(reps, [&] { return run_cc_matrix_small(scale); }));
   results.push_back(run_sweep16(scale, jobs));
 
   const std::string out = flags.get("out", "-");

@@ -36,8 +36,11 @@ struct ConnSpec {
   sim::Time pacing_interval = sim::Time::zero();
   sim::Time start_time = sim::Time::zero();
   sim::Time stop_time = sim::Time::zero();  // zero = transmit forever
-  tcp::TahoeParams tahoe;  // only for kTahoe
-  tcp::RenoParams reno;    // only for kReno
+  tcp::TahoeParams tahoe;      // only for kTahoe
+  tcp::RenoParams reno;        // only for kReno
+  tcp::NewRenoParams newreno;  // only for kNewReno
+  tcp::CubicParams cubic;      // only for kCubic
+  tcp::VegasParams vegas;      // only for kVegas
 
   // --- flow schedule (TrafficMatrix only) ------------------------------
   // The spec expands to `count` flows; flow j starts at start_time plus a
@@ -62,6 +65,9 @@ struct ConnSpec {
     cfg.stop_time = stop_time;
     cfg.tahoe = tahoe;
     cfg.reno = reno;
+    cfg.newreno = newreno;
+    cfg.cubic = cubic;
+    cfg.vegas = vegas;
     return cfg;
   }
 };

@@ -102,12 +102,13 @@ void EventTrace::rto(sim::Time t, net::ConnId conn) {
   write_line(buf);
 }
 
-void EventTrace::cwnd_change(sim::Time t, net::ConnId conn, double cwnd) {
-  char buf[160];
+void EventTrace::cwnd_change(sim::Time t, net::ConnId conn, double cwnd,
+                             const char* algo, const char* why) {
+  char buf[224];
   std::snprintf(buf, sizeof(buf),
                 "{\"t\":%.9f,\"ev\":\"cwnd-change\",\"conn\":%u,"
-                "\"cwnd\":%.6f}",
-                t.sec(), conn, cwnd);
+                "\"cwnd\":%.6f,\"algo\":\"%s\",\"why\":\"%s\"}",
+                t.sec(), conn, cwnd, algo, why);
   write_line(buf);
 }
 

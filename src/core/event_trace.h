@@ -48,8 +48,12 @@ class EventTrace : public net::PacketObserver {
   void on_deliver(sim::Time t, const net::Packet& pkt) override;
 
   // Transport-level events, forwarded by Experiment from the sender hooks.
+  // cwnd changes carry per-algorithm attribution: `algo` names the
+  // congestion controller and `why` the CcEvent that moved the window
+  // (ack | dup-ack | fast-retransmit | timeout | recovery-exit).
   void rto(sim::Time t, net::ConnId conn);
-  void cwnd_change(sim::Time t, net::ConnId conn, double cwnd);
+  void cwnd_change(sim::Time t, net::ConnId conn, double cwnd,
+                   const char* algo, const char* why);
 
   std::uint64_t events_written() const { return events_; }
   void flush();

@@ -23,19 +23,16 @@ tcp::Connection& Experiment::add_connection(
   conns_.push_back(std::make_unique<tcp::Connection>(net_, config));
   tcp::Connection& conn = *conns_.back();
 
-  // cwnd trace (adaptive senders only): seed with the initial value at start
-  // time so the step function is defined from the beginning.
-  if (auto* tahoe = conn.tahoe()) {
-    cwnd_[config.id].record(config.start_time.sec(), tahoe->cwnd());
-    tahoe->on_cwnd_change = [this, id = config.id](sim::Time t, double w) {
+  // cwnd trace (adaptive controllers only): seed with the initial value at
+  // start time so the step function is defined from the beginning. Every
+  // change is attributed to (algorithm, event) in the JSONL trace.
+  tcp::CongestionControl& cc = conn.cc();
+  if (cc.adaptive()) {
+    cwnd_[config.id].record(config.start_time.sec(), cc.cwnd());
+    cc.on_cwnd_change = [this, id = config.id, algo = cc.name()](
+                            sim::Time t, double w, tcp::CcEvent why) {
       cwnd_[id].record(t.sec(), w);
-      if (trace_) trace_->cwnd_change(t, id, w);
-    };
-  } else if (auto* reno = conn.reno()) {
-    cwnd_[config.id].record(config.start_time.sec(), reno->cwnd());
-    reno->on_cwnd_change = [this, id = config.id](sim::Time t, double w) {
-      cwnd_[id].record(t.sec(), w);
-      if (trace_) trace_->cwnd_change(t, id, w);
+      if (trace_) trace_->cwnd_change(t, id, w, algo, tcp::to_string(why));
     };
   }
   conn.sender().on_rtt_sample = [this, id = config.id](sim::Time t,

@@ -329,15 +329,12 @@ TopoSpec parse_topology(std::istream& in) {
         if (key == "count") {
           c.count = static_cast<std::size_t>(to_int(val, lineno, key));
         } else if (key == "kind") {
-          if (val == "tahoe") {
-            c.kind = tcp::SenderKind::kTahoe;
-          } else if (val == "reno") {
-            c.kind = tcp::SenderKind::kReno;
-          } else if (val == "fixed") {
-            c.kind = tcp::SenderKind::kFixedWindow;
-          } else {
+          // The full CcAlgorithm zoo: tahoe|reno|newreno|cubic|vegas|fixed.
+          const auto algo = tcp::parse_cc(val);
+          if (!algo) {
             parse_error(lineno, "unknown sender kind '" + val + "'");
           }
+          c.kind = *algo;
         } else if (key == "window") {
           c.fixed_window = static_cast<std::uint32_t>(to_int(val, lineno, key));
         } else if (key == "start") {

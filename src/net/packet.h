@@ -42,18 +42,37 @@ inline std::uint64_t make_packet_uid(ConnId conn, PacketKind kind,
          (kind == PacketKind::kAck ? kUidAckFlag : 0) | counter;
 }
 
+// Selective-acknowledgment block: the receiver holds [start, end). Two
+// blocks per ACK keep Packet at exactly one cache line (64 bytes) and the
+// (pointer + Packet) scheduler captures inside kActionInlineCapacity;
+// the sender's scoreboard accumulates blocks across ACKs, so a narrow
+// option costs little (the same trade the real option makes when
+// timestamps shrink it).
+struct SackBlock {
+  std::uint32_t start = 0;
+  std::uint32_t end = 0;  // exclusive
+};
+
+inline constexpr std::uint8_t kMaxSackBlocks = 2;
+
 struct Packet {
   std::uint64_t uid = 0;        // globally unique, assigned at creation
   ConnId conn = 0;
   PacketKind kind = PacketKind::kData;
+  bool retransmit = false;      // data: this is a retransmission
+  std::uint8_t sack_count = 0;  // ack: SACK blocks present (0 when disabled)
   std::uint32_t seq = 0;        // data: this packet's sequence number
   std::uint32_t ack = 0;        // ack: next sequence expected by receiver
   std::uint32_t size_bytes = 0;
   NodeId src = kInvalidNode;    // originating host
   NodeId dst = kInvalidNode;    // destination host
   sim::Time created;            // send time at the originating transport
-  bool retransmit = false;      // data: this is a retransmission
+  SackBlock sack[kMaxSackBlocks];  // ack: most recent block first
 };
+
+static_assert(sizeof(Packet) == 64,
+              "Packet must stay one cache line: scheduler captures of "
+              "(pointer + Packet) must fit kActionInlineCapacity");
 
 inline bool is_data(const Packet& p) { return p.kind == PacketKind::kData; }
 inline bool is_ack(const Packet& p) { return p.kind == PacketKind::kAck; }

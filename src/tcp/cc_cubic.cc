@@ -1,0 +1,139 @@
+#include "tcp/cc_cubic.h"
+
+namespace tcpdyn::tcp {
+
+namespace {
+
+// 1024 · 100³: converts C from 1/1024 fixed point and t from centiseconds
+// back to packets (see cubic_target).
+constexpr std::uint64_t kCubeFactor = 1024ULL * 100 * 100 * 100;
+
+// Cap on |t - K| so d³·C stays far below 2^63 (2^20 cs ≈ 2.9 simulated
+// hours into one epoch; the curve is effectively linear out there anyway).
+constexpr std::uint64_t kMaxOffsetCs = 1ULL << 20;
+
+constexpr std::uint64_t kCentisPerSecond = 100;
+
+std::uint64_t centiseconds(sim::Time t) {
+  return static_cast<std::uint64_t>(t.ns()) / (1'000'000'000ULL /
+                                               kCentisPerSecond);
+}
+
+// 128-bit cube so the floor-correction compares cannot wrap even for
+// arguments near 2^64 (the epoch math never produces them, but cube_root is
+// public for the unit tests, which probe the full domain).
+unsigned __int128 cube(std::uint64_t r) {
+  return static_cast<unsigned __int128>(r) * r * r;
+}
+
+}  // namespace
+
+CubicCc::CubicCc(CubicParams params)
+    : params_(params),
+      cwnd_(params.initial_cwnd > 0 ? params.initial_cwnd : 1),
+      ssthresh_(params.initial_ssthresh) {}
+
+std::uint64_t CubicCc::cube_root(std::uint64_t x) {
+  if (x == 0) return 0;
+  // Newton's iteration from a power-of-two overestimate.
+  const int bits = 64 - __builtin_clzll(x);
+  std::uint64_t r = 1ULL << ((bits + 2) / 3);
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t r2 = r * r;
+    const std::uint64_t next = (2 * r + x / r2) / 3;
+    if (next >= r) break;
+    r = next;
+  }
+  while (cube(r) > x) --r;
+  while (cube(r + 1) <= x) ++r;
+  return r;
+}
+
+std::uint32_t CubicCc::cubic_target(std::uint32_t origin, std::uint64_t k_cs,
+                                    std::uint64_t t_cs,
+                                    std::uint32_t c_1024) {
+  const bool below = t_cs < k_cs;
+  std::uint64_t d = below ? k_cs - t_cs : t_cs - k_cs;
+  if (d > kMaxOffsetCs) d = kMaxOffsetCs;
+  const std::uint64_t delta = c_1024 * d * d * d / kCubeFactor;
+  if (below) {
+    return delta >= origin ? 1u
+                           : origin - static_cast<std::uint32_t>(delta);
+  }
+  const std::uint64_t target = origin + delta;
+  return target > UINT32_MAX ? UINT32_MAX
+                             : static_cast<std::uint32_t>(target);
+}
+
+void CubicCc::begin_epoch(sim::Time now) {
+  epoch_active_ = true;
+  epoch_start_ = now;
+  cwnd_cnt_ = 0;
+  if (w_max_ > cwnd_) {
+    // Regrow toward the old maximum: K = ∛(C⁻¹·(W_max − cwnd)).
+    origin_point_ = w_max_;
+    k_cs_ = cube_root((w_max_ - cwnd_) * kCubeFactor / params_.c_1024);
+  } else {
+    // Already at or past the old maximum: start probing from here.
+    origin_point_ = cwnd_;
+    k_cs_ = 0;
+  }
+}
+
+void CubicCc::on_ack(const AckContext& ctx) {
+  if (cwnd_ < ssthresh_) {
+    cwnd_ = capped_u32(cwnd_ + 1);
+    notify(ctx.now, CcEvent::kAck);
+    return;
+  }
+  if (!epoch_active_) begin_epoch(ctx.now);
+  const std::uint64_t t_cs = centiseconds(ctx.now - epoch_start_);
+  const std::uint32_t target =
+      cubic_target(origin_point_, k_cs_, t_cs, params_.c_1024);
+  // Raise cwnd by one per cnt ACKs; above the target the window creeps at
+  // most one packet per 100·cwnd ACKs (the standard max-probing rate).
+  std::uint32_t cnt =
+      target > cwnd_ ? cwnd_ / (target - cwnd_) : 100 * cwnd_;
+  if (cnt == 0) cnt = 1;
+  if (++cwnd_cnt_ >= cnt) {
+    cwnd_cnt_ = 0;
+    const std::uint32_t grown = capped_u32(cwnd_ + 1);
+    if (grown != cwnd_) {
+      cwnd_ = grown;
+      notify(ctx.now, CcEvent::kAck);
+    }
+  }
+}
+
+void CubicCc::reduce() {
+  // Fast convergence: a loss below the previous W_max means capacity
+  // shrank — release the slot faster by remembering a smaller maximum.
+  if (params_.fast_convergence && cwnd_ < w_max_) {
+    w_max_ = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(cwnd_) * (1024 + params_.beta_1024) /
+        2048);
+  } else {
+    w_max_ = cwnd_;
+  }
+  const std::uint32_t reduced = capped_u32(static_cast<std::uint32_t>(
+      static_cast<std::uint64_t>(cwnd_) * params_.beta_1024 / 1024));
+  ssthresh_ = reduced > 2u ? reduced : 2u;
+  epoch_active_ = false;
+  cwnd_cnt_ = 0;
+}
+
+void CubicCc::on_dup_ack_loss(sim::Time now) {
+  reduce();
+  // CUBIC does not collapse to one packet on a fast retransmit: continue
+  // from the multiplicatively decreased window.
+  cwnd_ = ssthresh_;
+  notify(now, CcEvent::kFastRetransmit);
+}
+
+void CubicCc::on_timeout(sim::Time now) {
+  reduce();
+  cwnd_ = 1;
+  notify(now, CcEvent::kTimeout);
+}
+
+}  // namespace tcpdyn::tcp

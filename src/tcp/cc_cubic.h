@@ -1,0 +1,76 @@
+// CUBIC congestion control (RFC 9438 / the Linux bictcp shape), in pure
+// integer arithmetic — no floating point on the ACK path, so the window
+// trajectory is bit-exact on every host and the determinism gate can diff
+// runs across worker counts.
+//
+// The window grows along W(t) = C·(t−K)³ + W_max, where t is the time since
+// the last reduction, W_max the window at that reduction, and
+// K = ∛(W_max·(1−β)/C) the time at which the curve regains W_max. The
+// constants follow Linux: β = 717/1024 (≈0.7) and C = 410/1024 (≈0.4), both
+// carried in 1/1024 fixed point. Time is measured in CENTISECONDS — at the
+// paper's 50 Kbps / tens-of-RTTs-per-second scale that resolution keeps
+// d³·C inside 64 bits for epochs up to days while still resolving every
+// growth step.
+//
+// Per ACK in congestion avoidance the controller computes the curve target
+// and raises cwnd by one after cnt = cwnd/(target−cwnd) ACKs (the standard
+// cnt-based pacing of the increase). Slow start below ssthresh is the usual
+// +1 per ACK. On loss: W_max ← cwnd (shrunk by (1+β)/2 under fast
+// convergence when the new W_max is below the old), cwnd ← β·cwnd on a fast
+// retransmit or 1 on a timeout, with ssthresh = max(β·cwnd, 2) clamped
+// through the shared base helpers so maxwnd is always respected.
+#pragma once
+
+#include "tcp/congestion_control.h"
+#include "tcp/sender.h"
+
+namespace tcpdyn::tcp {
+
+class CubicCc final : public CongestionControl {
+ public:
+  explicit CubicCc(CubicParams params = {});
+
+  const char* name() const override { return "cubic"; }
+  CcAlgorithm algorithm() const override { return CcAlgorithm::kCubic; }
+  double cwnd() const override { return static_cast<double>(cwnd_); }
+  // Integer-only hot path: no double ever enters the window computation.
+  std::uint32_t usable_window() const override {
+    const std::uint32_t w = capped_u32(cwnd_);
+    return w > 1u ? w : 1u;
+  }
+
+  std::uint32_t ssthresh() const { return ssthresh_; }
+  std::uint32_t w_max() const { return w_max_; }
+  std::uint64_t k_centisec() const { return k_cs_; }
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+  void on_ack(const AckContext& ctx) override;
+  void on_dup_ack_loss(sim::Time now) override;
+  void on_timeout(sim::Time now) override;
+
+  // Integer cube root (largest r with r³ <= x). Public for the unit tests
+  // that check the curve against closed-form values.
+  static std::uint64_t cube_root(std::uint64_t x);
+
+  // The curve evaluated at t_cs centiseconds past the epoch start:
+  //   target = origin ± C·(t_cs − k_cs)³ / (1024 · 100³)
+  // with C = c_1024/1024 packets/s³. Public for the unit tests.
+  static std::uint32_t cubic_target(std::uint32_t origin, std::uint64_t k_cs,
+                                    std::uint64_t t_cs, std::uint32_t c_1024);
+
+ private:
+  void reduce();
+  void begin_epoch(sim::Time now);
+
+  CubicParams params_;
+  std::uint32_t cwnd_;
+  std::uint32_t ssthresh_;
+  std::uint32_t cwnd_cnt_ = 0;   // ACKs since the last increment
+  std::uint32_t w_max_ = 0;      // window at the last reduction
+  std::uint32_t origin_point_ = 0;
+  std::uint64_t k_cs_ = 0;       // K in centiseconds
+  bool epoch_active_ = false;
+  sim::Time epoch_start_;
+};
+
+}  // namespace tcpdyn::tcp

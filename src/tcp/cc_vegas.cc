@@ -1,0 +1,97 @@
+#include "tcp/cc_vegas.h"
+
+namespace tcpdyn::tcp {
+
+void VegasCc::on_sent(sim::Time /*now*/, std::uint32_t seq,
+                      bool /*retransmit*/) {
+  if (seq + 1 > highest_sent_) highest_sent_ = seq + 1;
+}
+
+void VegasCc::on_ack(const AckContext& ctx) {
+  if (ctx.rtt_valid) {
+    if (!have_base_ || ctx.rtt < base_rtt_) {
+      base_rtt_ = ctx.rtt;
+      have_base_ = true;
+    }
+    if (!have_epoch_min_ || ctx.rtt < epoch_min_rtt_) {
+      epoch_min_rtt_ = ctx.rtt;
+      have_epoch_min_ = true;
+    }
+    ++epoch_samples_;
+  }
+
+  if (ctx.acked_to >= beg_snd_nxt_) {
+    // The window outstanding at the previous adjustment is fully
+    // acknowledged: one RTT has elapsed — time for the Vegas decision.
+    epoch_adjust(ctx);
+    beg_snd_nxt_ = highest_sent_;
+    have_epoch_min_ = false;
+    epoch_samples_ = 0;
+  } else if (cwnd_ < static_cast<double>(ssthresh_)) {
+    // Slow start between epoch boundaries: standard +1 per ACK (the epoch
+    // check above deflates as soon as the backlog exceeds gamma).
+    cwnd_ = capped(cwnd_ + 1.0);
+    notify(ctx.now, CcEvent::kAck);
+  }
+}
+
+void VegasCc::epoch_adjust(const AckContext& ctx) {
+  if (!have_base_ || !have_epoch_min_ || epoch_samples_ == 0) return;
+  const std::int64_t rtt_ns = epoch_min_rtt_.ns();
+  const std::int64_t base_ns = base_rtt_.ns();
+  if (rtt_ns <= 0) return;
+  // Backlog estimate in packets, computed in integer nanoseconds:
+  // diff = cwnd · (RTT − baseRTT) / RTT.
+  const auto w = static_cast<std::uint64_t>(cwnd_);
+  const std::uint64_t queued_ns =
+      rtt_ns > base_ns ? static_cast<std::uint64_t>(rtt_ns - base_ns) : 0;
+  const std::uint64_t diff =
+      w * queued_ns / static_cast<std::uint64_t>(rtt_ns);
+  last_diff_ = diff;
+
+  if (cwnd_ < static_cast<double>(ssthresh_)) {
+    if (diff > params_.gamma) {
+      // Queue is building during slow start: deflate by the measured
+      // backlog (keep one packet of it) and switch to avoidance.
+      const double deflated = cwnd_ - static_cast<double>(diff) + 1.0;
+      cwnd_ = deflated > 2.0 ? deflated : 2.0;
+      const auto w_now = static_cast<std::uint32_t>(cwnd_);
+      ssthresh_ = w_now > 2u ? w_now : 2u;  // at cwnd: avoidance from here
+      notify(ctx.now, CcEvent::kAck);
+    } else {
+      cwnd_ = capped(cwnd_ + 1.0);  // boundary ACK still grows in SS
+      notify(ctx.now, CcEvent::kAck);
+    }
+    return;
+  }
+
+  if (diff < params_.alpha) {
+    cwnd_ = capped(cwnd_ + 1.0);
+    notify(ctx.now, CcEvent::kAck);
+  } else if (diff > params_.beta) {
+    cwnd_ = cwnd_ - 1.0 > 2.0 ? cwnd_ - 1.0 : 2.0;
+    notify(ctx.now, CcEvent::kAck);
+  }
+  // alpha <= diff <= beta: the sweet spot, hold the window.
+}
+
+void VegasCc::on_dup_ack_loss(sim::Time now) {
+  // Vegas halves less aggressively on a fast retransmit (the backlog
+  // sensing usually prevents reaching this point): cwnd ← 3/4 · cwnd.
+  ssthresh_ = halved_ssthresh(cwnd_);
+  const double reduced = capped(cwnd_ * 3.0 / 4.0);
+  cwnd_ = reduced > 2.0 ? reduced : 2.0;
+  notify(now, CcEvent::kFastRetransmit);
+}
+
+void VegasCc::on_timeout(sim::Time now) {
+  ssthresh_ = halved_ssthresh(cwnd_);
+  cwnd_ = 2.0;
+  // The epoch state is stale after a timeout's go-back-N; restart it.
+  beg_snd_nxt_ = highest_sent_;
+  have_epoch_min_ = false;
+  epoch_samples_ = 0;
+  notify(now, CcEvent::kTimeout);
+}
+
+}  // namespace tcpdyn::tcp

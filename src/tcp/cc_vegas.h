@@ -1,0 +1,74 @@
+// TCP Vegas congestion control (Brakmo & Peterson 1995): delay-based
+// avoidance. Instead of pushing until the bottleneck drops, Vegas estimates
+// how many of its own packets are QUEUED at the bottleneck and holds that
+// backlog between two thresholds:
+//
+//   diff = cwnd · (RTT − baseRTT) / RTT        [packets in queue]
+//   diff < alpha  →  cwnd += 1   (per RTT: the pipe has spare room)
+//   diff > beta   →  cwnd −= 1   (per RTT: we are filling the buffer)
+//
+// baseRTT is the minimum RTT ever observed (the propagation floor); RTT is
+// the minimum sample within the current RTT epoch (least-queued evidence).
+// Epochs are delimited the Linux way: one adjustment when the cumulative
+// ACK passes the highest sequence outstanding at the previous adjustment.
+// Slow start grows +1 per ACK but is exited — deflating by the measured
+// backlog — as soon as diff exceeds gamma, so Vegas never blows the queue
+// up the way loss-based slow start does.
+//
+// The backlog division is done in integer nanoseconds; cwnd itself stays a
+// small-integer-valued double adjusted by ±1, so the trajectory is exact.
+//
+// In this study Vegas is the "polite" endpoint of the zoo: sharing a
+// bottleneck with loss-based controllers (cc_matrix) shows the classic
+// starvation result, and its RTT-sensing interacts directly with the
+// paper's ACK-compression observation (compressed ACKs inflate the RTT
+// samples Vegas steers by).
+#pragma once
+
+#include "tcp/congestion_control.h"
+#include "tcp/sender.h"
+
+namespace tcpdyn::tcp {
+
+class VegasCc final : public CongestionControl {
+ public:
+  explicit VegasCc(VegasParams params = {})
+      : params_(params),
+        cwnd_(params.initial_cwnd >= 1.0 ? params.initial_cwnd : 1.0),
+        ssthresh_(params.initial_ssthresh) {}
+
+  const char* name() const override { return "vegas"; }
+  CcAlgorithm algorithm() const override { return CcAlgorithm::kVegas; }
+  double cwnd() const override { return cwnd_; }
+
+  std::uint32_t ssthresh() const { return ssthresh_; }
+  bool in_slow_start() const {
+    return cwnd_ < static_cast<double>(ssthresh_);
+  }
+  sim::Time base_rtt() const { return base_rtt_; }
+  // Most recent per-epoch backlog estimate, in packets.
+  std::uint64_t last_diff() const { return last_diff_; }
+
+  void on_ack(const AckContext& ctx) override;
+  void on_sent(sim::Time now, std::uint32_t seq, bool retransmit) override;
+  void on_dup_ack_loss(sim::Time now) override;
+  void on_timeout(sim::Time now) override;
+
+ private:
+  void epoch_adjust(const AckContext& ctx);
+
+  VegasParams params_;
+  double cwnd_;
+  std::uint32_t ssthresh_;
+
+  bool have_base_ = false;
+  sim::Time base_rtt_;        // minimum RTT ever seen (propagation floor)
+  bool have_epoch_min_ = false;
+  sim::Time epoch_min_rtt_;   // minimum RTT within the current epoch
+  std::uint32_t epoch_samples_ = 0;
+  std::uint32_t beg_snd_nxt_ = 0;   // epoch boundary sequence
+  std::uint32_t highest_sent_ = 0;  // highest seq transmitted + 1
+  std::uint64_t last_diff_ = 0;
+};
+
+}  // namespace tcpdyn::tcp

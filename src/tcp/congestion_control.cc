@@ -1,0 +1,69 @@
+#include "tcp/congestion_control.h"
+
+#include "tcp/cc_cubic.h"
+#include "tcp/cc_newreno.h"
+#include "tcp/cc_vegas.h"
+#include "tcp/fixed_window.h"
+#include "tcp/reno.h"
+#include "tcp/sender.h"
+#include "tcp/tahoe.h"
+
+namespace tcpdyn::tcp {
+
+const char* to_string(CcAlgorithm algo) {
+  switch (algo) {
+    case CcAlgorithm::kTahoe: return "tahoe";
+    case CcAlgorithm::kReno: return "reno";
+    case CcAlgorithm::kNewReno: return "newreno";
+    case CcAlgorithm::kCubic: return "cubic";
+    case CcAlgorithm::kVegas: return "vegas";
+    case CcAlgorithm::kFixedWindow: return "fixed";
+  }
+  return "?";
+}
+
+std::optional<CcAlgorithm> parse_cc(const std::string& name) {
+  if (name == "tahoe") return CcAlgorithm::kTahoe;
+  if (name == "reno") return CcAlgorithm::kReno;
+  if (name == "newreno") return CcAlgorithm::kNewReno;
+  if (name == "cubic") return CcAlgorithm::kCubic;
+  if (name == "vegas") return CcAlgorithm::kVegas;
+  if (name == "fixed") return CcAlgorithm::kFixedWindow;
+  return std::nullopt;
+}
+
+const char* to_string(CcEvent ev) {
+  switch (ev) {
+    case CcEvent::kAck: return "ack";
+    case CcEvent::kDupAck: return "dup-ack";
+    case CcEvent::kFastRetransmit: return "fast-retransmit";
+    case CcEvent::kTimeout: return "timeout";
+    case CcEvent::kRecoveryExit: return "recovery-exit";
+  }
+  return "?";
+}
+
+void CongestionControl::pump() {
+  if (sender_ != nullptr) sender_->pump();
+}
+
+std::unique_ptr<CongestionControl> make_congestion_control(
+    const CcConfig& config) {
+  switch (config.algo) {
+    case CcAlgorithm::kTahoe:
+      return std::make_unique<TahoeCc>(config.tahoe);
+    case CcAlgorithm::kReno:
+      return std::make_unique<RenoCc>(config.reno);
+    case CcAlgorithm::kNewReno:
+      return std::make_unique<NewRenoCc>(config.newreno);
+    case CcAlgorithm::kCubic:
+      return std::make_unique<CubicCc>(config.cubic);
+    case CcAlgorithm::kVegas:
+      return std::make_unique<VegasCc>(config.vegas);
+    case CcAlgorithm::kFixedWindow:
+      return std::make_unique<FixedWindowCc>(config.fixed_window);
+  }
+  return nullptr;
+}
+
+}  // namespace tcpdyn::tcp

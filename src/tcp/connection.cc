@@ -17,20 +17,16 @@ Connection::Connection(net::Network& network, ConnectionConfig config)
   auto& src = network.host(config.src_host);
   auto& dst = network.host(config.dst_host);
 
-  switch (config.kind) {
-    case SenderKind::kTahoe:
-      sender_ = std::make_unique<TahoeSender>(network.sim(), src, sp,
-                                              config.tahoe);
-      break;
-    case SenderKind::kReno:
-      sender_ =
-          std::make_unique<RenoSender>(network.sim(), src, sp, config.reno);
-      break;
-    case SenderKind::kFixedWindow:
-      sender_ = std::make_unique<FixedWindowSender>(network.sim(), src, sp,
-                                                    config.fixed_window);
-      break;
-  }
+  CcConfig cc;
+  cc.algo = config.kind;
+  cc.fixed_window = config.fixed_window;
+  cc.tahoe = config.tahoe;
+  cc.reno = config.reno;
+  cc.newreno = config.newreno;
+  cc.cubic = config.cubic;
+  cc.vegas = config.vegas;
+  sender_ = std::make_unique<WindowSender>(network.sim(), src, sp,
+                                           make_congestion_control(cc));
 
   ReceiverParams rp;
   rp.conn = config.id;
@@ -38,6 +34,9 @@ Connection::Connection(net::Network& network, ConnectionConfig config)
   rp.peer = config.src_host;
   rp.ack_bytes = config.ack_bytes;
   rp.delayed_ack = config.delayed_ack;
+  // The receiver advertises SACK blocks exactly when the sender's
+  // controller runs scoreboard recovery (both ends negotiate the option).
+  rp.sack = sender_->cc().wants_sack();
   receiver_ = std::make_unique<Receiver>(network.sim(), dst, rp);
 
   sender_->start(config.start_time);
@@ -46,21 +45,39 @@ Connection::Connection(net::Network& network, ConnectionConfig config)
   }
 }
 
-TahoeSender* Connection::tahoe() {
+TahoeCc* Connection::tahoe() {
   return config_.kind == SenderKind::kTahoe
-             ? static_cast<TahoeSender*>(sender_.get())
+             ? static_cast<TahoeCc*>(&sender_->cc())
              : nullptr;
 }
 
-RenoSender* Connection::reno() {
+RenoCc* Connection::reno() {
   return config_.kind == SenderKind::kReno
-             ? static_cast<RenoSender*>(sender_.get())
+             ? static_cast<RenoCc*>(&sender_->cc())
              : nullptr;
 }
 
-FixedWindowSender* Connection::fixed() {
+NewRenoCc* Connection::newreno() {
+  return config_.kind == SenderKind::kNewReno
+             ? static_cast<NewRenoCc*>(&sender_->cc())
+             : nullptr;
+}
+
+CubicCc* Connection::cubic() {
+  return config_.kind == SenderKind::kCubic
+             ? static_cast<CubicCc*>(&sender_->cc())
+             : nullptr;
+}
+
+VegasCc* Connection::vegas() {
+  return config_.kind == SenderKind::kVegas
+             ? static_cast<VegasCc*>(&sender_->cc())
+             : nullptr;
+}
+
+FixedWindowCc* Connection::fixed() {
   return config_.kind == SenderKind::kFixedWindow
-             ? static_cast<FixedWindowSender*>(sender_.get())
+             ? static_cast<FixedWindowCc*>(&sender_->cc())
              : nullptr;
 }
 

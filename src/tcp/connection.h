@@ -1,19 +1,25 @@
 // Connection: wires a sender endpoint on one host to a receiver endpoint on
 // another, per the paper's model of pre-established TCP connections with an
 // infinite amount of data to send (no SYN/FIN exchange is simulated).
+//
+// The congestion-control algorithm is a ConnectionConfig field (the
+// CcAlgorithm zoo: tahoe|reno|newreno|cubic|vegas|fixed); mixed-algorithm
+// experiments just add connections with different kinds to one Experiment.
 #pragma once
 
 #include <memory>
 
 #include "net/network.h"
+#include "tcp/cc_cubic.h"
+#include "tcp/cc_newreno.h"
+#include "tcp/cc_vegas.h"
+#include "tcp/congestion_control.h"
 #include "tcp/fixed_window.h"
 #include "tcp/receiver.h"
 #include "tcp/reno.h"
 #include "tcp/tahoe.h"
 
 namespace tcpdyn::tcp {
-
-enum class SenderKind : std::uint8_t { kTahoe, kReno, kFixedWindow };
 
 struct ConnectionConfig {
   net::ConnId id = 0;
@@ -31,6 +37,9 @@ struct ConnectionConfig {
   sim::Time stop_time = sim::Time::zero();   // zero = transmit forever
   TahoeParams tahoe;
   RenoParams reno;
+  NewRenoParams newreno;
+  CubicParams cubic;
+  VegasParams vegas;
   RttParams rtt;
 };
 
@@ -45,12 +54,19 @@ class Connection {
   const WindowSender& sender() const { return *sender_; }
   Receiver& receiver() { return *receiver_; }
 
-  // Null unless the connection uses the Tahoe sender.
-  TahoeSender* tahoe();
-  // Null unless the connection uses the Reno sender.
-  RenoSender* reno();
-  // Null unless the connection uses the fixed-window sender.
-  FixedWindowSender* fixed();
+  // The connection's congestion controller (never null).
+  CongestionControl& cc() { return sender_->cc(); }
+  const CongestionControl& cc() const { return sender_->cc(); }
+  CcAlgorithm algorithm() const { return sender_->cc().algorithm(); }
+
+  // Typed controller accessors: null unless the connection runs that
+  // algorithm.
+  TahoeCc* tahoe();
+  RenoCc* reno();
+  NewRenoCc* newreno();
+  CubicCc* cubic();
+  VegasCc* vegas();
+  FixedWindowCc* fixed();
 
  private:
   ConnectionConfig config_;

@@ -33,6 +33,7 @@ void Receiver::deliver(const net::Packet& pkt) {
     if (at == out_of_order_.end() || *at != pkt.seq) {
       out_of_order_.insert(at, pkt.seq);
     }
+    last_oo_seq_ = pkt.seq;  // its run leads the next SACK option
   } else {
     ++duplicates_;  // already delivered; ACK again (sender needs the dup-ACK)
   }
@@ -65,9 +66,39 @@ void Receiver::send_ack() {
   ack.src = params_.self;
   ack.dst = params_.peer;
   ack.created = sim_.now();
+  if (params_.sack && !out_of_order_.empty()) fill_sack_blocks(ack);
   ++acks_sent_;
   if (on_ack_sent) on_ack_sent(sim_.now(), ack);
   host_.send(std::move(ack));
+}
+
+void Receiver::fill_sack_blocks(net::Packet& ack) const {
+  // Contiguous runs of the (sorted, duplicate-free) reassembly buffer are
+  // the SACK blocks. RFC 2018: the block containing the most recently
+  // received segment goes first; the rest follow in ascending order.
+  net::SackBlock runs[net::kMaxSackBlocks];
+  std::uint8_t n = 0;
+  int lead = -1;  // index in `runs` of last_oo_seq_'s run
+  std::size_t i = 0;
+  while (i < out_of_order_.size() && n < net::kMaxSackBlocks) {
+    const std::uint32_t start = out_of_order_[i];
+    std::uint32_t end = start + 1;
+    while (i + 1 < out_of_order_.size() && out_of_order_[i + 1] == end) {
+      ++end;
+      ++i;
+    }
+    if (last_oo_seq_ >= start && last_oo_seq_ < end) {
+      lead = n;
+    }
+    runs[n++] = net::SackBlock{start, end};
+    ++i;
+  }
+  ack.sack_count = n;
+  std::uint8_t out = 0;
+  if (lead >= 0) ack.sack[out++] = runs[lead];
+  for (std::uint8_t r = 0; r < n && out < n; ++r) {
+    if (r != lead) ack.sack[out++] = runs[r];
+  }
 }
 
 void Receiver::arm_delayed_ack_timer() {

@@ -21,6 +21,11 @@ struct ReceiverParams {
   net::NodeId peer = net::kInvalidNode;   // host where the sender lives
   std::uint32_t ack_bytes = 50;
   bool delayed_ack = false;
+  // Advertise SACK blocks on every ACK (RFC 2018): up to kMaxSackBlocks
+  // contiguous runs of the reassembly buffer, the run holding the most
+  // recently arrived out-of-order packet first. Enabled by Connection when
+  // the sender's controller wants scoreboard recovery (NewReno).
+  bool sack = false;
   sim::Time delayed_ack_timeout = sim::Time::milliseconds(200);
 };
 
@@ -41,6 +46,7 @@ class Receiver : public net::PacketSink {
 
  private:
   void send_ack();
+  void fill_sack_blocks(net::Packet& ack) const;
   void arm_delayed_ack_timer();
 
   sim::Simulator& sim_;
@@ -55,6 +61,8 @@ class Receiver : public net::PacketSink {
   std::uint64_t duplicates_ = 0;
   std::uint64_t acks_sent_ = 0;
   std::uint64_t next_uid_ = 0;
+  // SACK: most recent out-of-order arrival (its run is reported first).
+  std::uint32_t last_oo_seq_ = 0;
   // Delayed-ACK state: number of data packets received since the last ACK.
   std::uint32_t unacked_arrivals_ = 0;
   sim::EventHandle delayed_timer_;

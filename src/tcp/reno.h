@@ -7,51 +7,79 @@
 // ssthresh when new data is acknowledged. Timeouts still slow-start from 1.
 //
 // The paper conjectures that ACK-compression and the synchronization modes
-// afflict ANY nonpaced window-based algorithm; RenoSender exists to test
-// that conjecture (bench_reno_twoway) — Reno changes the loss response, not
-// the ACK-triggered transmission pattern, so the phenomena should persist.
+// afflict ANY nonpaced window-based algorithm; RenoCc exists to test that
+// conjecture (bench_reno_twoway) — Reno changes the loss response, not the
+// ACK-triggered transmission pattern, so the phenomena should persist.
 #pragma once
 
-#include <functional>
-
-#include "tcp/sender.h"
+#include "tcp/tahoe.h"
 
 namespace tcpdyn::tcp {
 
-struct RenoParams {
-  double initial_cwnd = 1.0;
-  std::uint32_t initial_ssthresh = UINT32_MAX;
-  // The paper's modified congestion-avoidance increment (see TahoeParams).
-  bool modified_ca_increment = true;
-};
-
-class RenoSender : public WindowSender {
+class RenoCc : public TahoeCc {
  public:
-  RenoSender(sim::Simulator& sim, net::Host& host, SenderParams params,
-             RenoParams reno = {});
+  explicit RenoCc(RenoParams params = {})
+      : TahoeCc(TahoeParams{params.initial_cwnd, params.initial_ssthresh,
+                            params.modified_ca_increment}) {}
 
-  std::uint32_t window() const override;
+  const char* name() const override { return "reno"; }
+  CcAlgorithm algorithm() const override { return CcAlgorithm::kReno; }
 
-  double cwnd() const { return cwnd_; }
-  std::uint32_t ssthresh() const { return ssthresh_; }
   bool in_fast_recovery() const { return in_fast_recovery_; }
 
-  std::function<void(sim::Time, double)> on_cwnd_change;
-
- protected:
-  void handle_new_ack(std::uint32_t newly_acked) override;
-  void handle_dup_ack() override;
-  void handle_loss(LossSignal signal) override;
-
- private:
-  void notify() {
-    if (on_cwnd_change) on_cwnd_change(sim_.now(), cwnd_);
+  void on_ack(const AckContext& ctx) override {
+    if (in_fast_recovery_) {
+      // Deflate: the retransmission was acknowledged; resume congestion
+      // avoidance from the halved window.
+      in_fast_recovery_ = false;
+      cwnd_ = static_cast<double>(ssthresh_);
+      notify(ctx.now, CcEvent::kRecoveryExit);
+      return;
+    }
+    TahoeCc::on_ack(ctx);
   }
 
-  RenoParams reno_;
-  double cwnd_;
-  std::uint32_t ssthresh_;
+  void on_dup_ack(sim::Time now) override {
+    if (!in_fast_recovery_) return;
+    // Each additional duplicate ACK signals a packet has left the network;
+    // inflate so new data can be clocked out during recovery.
+    cwnd_ = capped(cwnd_ + 1.0);
+    notify(now, CcEvent::kDupAck);
+  }
+
+  void on_dup_ack_loss(sim::Time now) override {
+    // Fast recovery: halve plus the three duplicates already seen.
+    ssthresh_ = halved_ssthresh(cwnd_);
+    in_fast_recovery_ = true;
+    cwnd_ = static_cast<double>(ssthresh_) + 3.0;
+    notify(now, CcEvent::kFastRetransmit);
+  }
+
+  void on_timeout(sim::Time now) override {
+    // Timeout: slow-start from scratch, as in Tahoe.
+    ssthresh_ = halved_ssthresh(cwnd_);
+    in_fast_recovery_ = false;
+    cwnd_ = 1.0;
+    notify(now, CcEvent::kTimeout);
+  }
+
+ protected:
   bool in_fast_recovery_ = false;
+};
+
+// Convenience sender owning a RenoCc (historic construction surface).
+class RenoSender final : public WindowSender {
+ public:
+  RenoSender(sim::Simulator& sim, net::Host& host, SenderParams params,
+             RenoParams reno = {})
+      : WindowSender(sim, host, params, std::make_unique<RenoCc>(reno)) {}
+
+  RenoCc& reno_cc() { return static_cast<RenoCc&>(cc()); }
+  const RenoCc& reno_cc() const { return static_cast<const RenoCc&>(cc()); }
+
+  double cwnd() const { return reno_cc().cwnd(); }
+  std::uint32_t ssthresh() const { return reno_cc().ssthresh(); }
+  bool in_fast_recovery() const { return reno_cc().in_fast_recovery(); }
 };
 
 }  // namespace tcpdyn::tcp

@@ -1,0 +1,85 @@
+// SackScoreboard: the sender-side record of which segments above snd_una the
+// receiver has reported holding (RFC 2018 semantics on this simulator's
+// packet-unit sequence space). Ranges are half-open [start, end), kept
+// sorted and disjoint in a small vector — a window's worth of ranges at
+// most, so steady-state operation is allocation-free once capacity exists.
+//
+// Reneging is deliberately ignored: once a sequence number has been marked
+// SACKed it stays marked until the cumulative ACK passes it (RFC 2018 says a
+// sender MUST NOT discard data on the strength of a SACK, and this sender
+// keeps everything anyway; forgetting marks would only cause spurious
+// retransmissions).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace tcpdyn::tcp {
+
+class SackScoreboard {
+ public:
+  // Records that [start, end) has been received out of order.
+  void mark(std::uint32_t start, std::uint32_t end) {
+    if (start >= end) return;
+    // Find the insertion window of ranges overlapping or adjacent to
+    // [start, end) and coalesce them into one.
+    auto first = ranges_.begin();
+    while (first != ranges_.end() && first->end < start) ++first;
+    auto last = first;
+    while (last != ranges_.end() && last->start <= end) {
+      start = std::min(start, last->start);
+      end = std::max(end, last->end);
+      ++last;
+    }
+    if (first == last) {
+      ranges_.insert(first, Range{start, end});
+    } else {
+      first->start = start;
+      first->end = end;
+      ranges_.erase(first + 1, last);
+    }
+  }
+
+  // The cumulative ACK advanced to `seq`: drop everything below it.
+  void ack_to(std::uint32_t seq) {
+    auto it = ranges_.begin();
+    while (it != ranges_.end() && it->end <= seq) ++it;
+    ranges_.erase(ranges_.begin(), it);
+    if (!ranges_.empty() && ranges_.front().start < seq) {
+      ranges_.front().start = seq;
+    }
+  }
+
+  bool covers(std::uint32_t seq) const {
+    for (const auto& r : ranges_) {
+      if (seq < r.start) return false;
+      if (seq < r.end) return true;
+    }
+    return false;
+  }
+
+  // Lowest sequence >= from that is NOT SACKed but lies below the highest
+  // SACKed sequence — i.e. a hole the receiver is definitely missing.
+  std::optional<std::uint32_t> next_hole(std::uint32_t from) const {
+    for (const auto& r : ranges_) {
+      if (from < r.start) return from;  // gap before this range
+      if (from < r.end) from = r.end;   // inside the range: skip past it
+    }
+    return std::nullopt;  // at or above the highest SACKed sequence
+  }
+
+  bool empty() const { return ranges_.empty(); }
+  void clear() { ranges_.clear(); }
+  std::size_t range_count() const { return ranges_.size(); }
+
+ private:
+  struct Range {
+    std::uint32_t start;
+    std::uint32_t end;  // exclusive
+  };
+  std::vector<Range> ranges_;
+};
+
+}  // namespace tcpdyn::tcp

@@ -7,8 +7,15 @@
 namespace tcpdyn::tcp {
 
 WindowSender::WindowSender(sim::Simulator& sim, net::Host& host,
-                           SenderParams params)
-    : sim_(sim), host_(host), params_(params), rtt_(params.rtt) {
+                           SenderParams params,
+                           std::unique_ptr<CongestionControl> cc)
+    : sim_(sim),
+      host_(host),
+      params_(params),
+      cc_(std::move(cc)),
+      rtt_(params.rtt) {
+  assert(cc_ != nullptr);
+  cc_->bind(this, CcEnv{params_.maxwnd, params_.dupack_threshold});
   host_.register_endpoint(params_.conn, net::PacketKind::kAck, this);
 }
 
@@ -34,9 +41,18 @@ void WindowSender::deliver(const net::Packet& ack) {
   assert(net::is_ack(ack));
   if (stopped_) return;
   ++counters_.acks_received;
+  const bool sack_mode = cc_->wants_sack();
+  if (sack_mode) {
+    for (std::uint8_t i = 0; i < ack.sack_count; ++i) {
+      scoreboard_.mark(ack.sack[i].start, ack.sack[i].end);
+    }
+  }
   if (ack.ack > snd_una_) {
-    const std::uint32_t newly = ack.ack - snd_una_;
+    AckContext ctx;
+    ctx.now = sim_.now();
+    ctx.newly_acked = ack.ack - snd_una_;
     snd_una_ = ack.ack;
+    ctx.acked_to = snd_una_;
     dupacks_ = 0;
     // RTT sample: the timed packet is covered and was never retransmitted
     // (timing_ is cleared on any loss, implementing Karn's rule).
@@ -44,39 +60,75 @@ void WindowSender::deliver(const net::Packet& ack) {
       const sim::Time rtt = sim_.now() - timed_at_;
       rtt_.sample(rtt);
       timing_ = false;
+      ctx.rtt_valid = true;
+      ctx.rtt = rtt;
       if (on_rtt_sample) on_rtt_sample(sim_.now(), rtt);
     }
     if (snd_nxt_ < snd_una_) snd_nxt_ = snd_una_;
     // Restart the retransmission timer for the remaining outstanding data.
     rto_timer_.cancel();
     if (outstanding() > 0) arm_rto();
-    handle_new_ack(newly);
+    if (sack_mode) {
+      scoreboard_.ack_to(snd_una_);
+      if (in_sack_recovery_) {
+        ctx.in_recovery = true;
+        if (snd_una_ >= recover_) {
+          // Full ACK: the recovery point is covered; recovery ends.
+          in_sack_recovery_ = false;
+          scoreboard_.clear();
+          sack_retx_high_ = 0;
+        } else {
+          ctx.partial = true;
+        }
+      }
+    }
+    cc_->on_ack(ctx);
+    if (ctx.partial && snd_una_ >= sack_retx_high_) {
+      // NewReno partial ACK (RFC 6582): the ACK exposes the next hole;
+      // retransmit it immediately instead of waiting for three more
+      // duplicates (unless scoreboard-driven recovery already resent it).
+      send_packet(snd_una_);
+      sack_retx_high_ = snd_una_ + 1;
+    }
     send_available();
   } else if (ack.ack == snd_una_ && outstanding() > 0) {
     // Duplicate ACK while data is outstanding.
-    if (++dupacks_ == params_.dupack_threshold) {
+    ++dupacks_;
+    if (dupacks_ == params_.dupack_threshold &&
+        !(sack_mode && in_sack_recovery_)) {
       loss_detected(LossSignal::kDupAcks);
     } else {
-      handle_dup_ack();
+      cc_->on_dup_ack(sim_.now());
+      if (sack_mode && in_sack_recovery_) {
+        // Each further duplicate signals a departure; spend it on the next
+        // scoreboard hole so recovery repairs multiple losses per RTT.
+        retransmit_next_hole();
+      }
       send_available();  // Reno-style inflation may open the window
     }
   }
   // else: stale ACK below snd_una_, ignore.
 }
 
+sim::Time WindowSender::effective_pacing_interval() const {
+  const sim::Time from_cc = cc_->pacing_interval();
+  return from_cc > params_.pacing_interval ? from_cc
+                                           : params_.pacing_interval;
+}
+
 void WindowSender::send_available() {
   if (!started_ || stopped_) return;
   const std::uint32_t wnd = window();
+  const sim::Time pacing = effective_pacing_interval();
   while (snd_nxt_ < snd_una_ + wnd) {
-    if (params_.pacing_interval > sim::Time::zero() &&
-        sim_.now() < next_pacing_slot_) {
+    if (pacing > sim::Time::zero() && sim_.now() < next_pacing_slot_) {
       schedule_paced_send();
       return;
     }
     send_packet(snd_nxt_);
     ++snd_nxt_;
-    if (params_.pacing_interval > sim::Time::zero()) {
-      next_pacing_slot_ = sim_.now() + params_.pacing_interval;
+    if (pacing > sim::Time::zero()) {
+      next_pacing_slot_ = sim_.now() + pacing;
     }
   }
 }
@@ -112,8 +164,19 @@ void WindowSender::send_packet(std::uint32_t seq) {
     timed_at_ = sim_.now();
   }
   if (!rto_timer_.pending()) arm_rto();
+  cc_->on_sent(sim_.now(), seq, pkt.retransmit);
   if (on_send) on_send(sim_.now(), pkt);
   host_.send(std::move(pkt));
+}
+
+void WindowSender::retransmit_next_hole() {
+  if (scoreboard_.empty()) return;
+  const std::uint32_t from =
+      snd_una_ > sack_retx_high_ ? snd_una_ : sack_retx_high_;
+  const auto hole = scoreboard_.next_hole(from);
+  if (!hole || *hole >= snd_nxt_) return;
+  send_packet(*hole);
+  sack_retx_high_ = *hole + 1;
 }
 
 void WindowSender::loss_detected(LossSignal signal) {
@@ -126,7 +189,20 @@ void WindowSender::loss_detected(LossSignal signal) {
   }
   timing_ = false;  // Karn: abandon the in-progress RTT measurement
   if (on_loss_detected) on_loss_detected(sim_.now(), signal);
-  handle_loss(signal);
+  if (signal == LossSignal::kDupAcks) {
+    cc_->on_dup_ack_loss(sim_.now());
+    if (cc_->wants_sack()) {
+      in_sack_recovery_ = true;
+      recover_ = snd_nxt_;  // RFC 6582 recovery point
+      sack_retx_high_ = snd_una_ + 1;  // the fast retransmit below
+    }
+  } else {
+    cc_->on_timeout(sim_.now());
+    // Timeout abandons scoreboard recovery: go-back-N resends everything.
+    in_sack_recovery_ = false;
+    scoreboard_.clear();
+    sack_retx_high_ = 0;
+  }
   rto_timer_.cancel();
   if (signal == LossSignal::kTimeout) {
     // Timeout: go-back-N from the first unacknowledged packet.

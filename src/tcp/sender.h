@@ -1,26 +1,34 @@
-// WindowSender: the transport machinery shared by every sender variant in
-// the study — sliding-window transmission of an infinite data stream
-// (paper §2.2: sources always have data to send), loss detection by
-// duplicate ACKs and by a coarse retransmission timer, go-back-N
-// retransmission from the last acknowledged packet, Karn-rule RTT sampling,
-// and optional pacing.
+// WindowSender: the transport machinery shared by every sender in the
+// study — sliding-window transmission of an infinite data stream (paper
+// §2.2: sources always have data to send), loss detection by duplicate ACKs
+// and by a coarse retransmission timer, go-back-N retransmission from the
+// last acknowledged packet, Karn-rule RTT sampling, optional pacing, and
+// (for controllers that want it) SACK scoreboard recovery.
 //
-// Subclasses supply the window policy:
-//   * TahoeSender       — BSD 4.3-Tahoe congestion control (paper §2.1)
-//   * FixedWindowSender — constant window (paper Figs. 8-9, §4.3.3)
+// The window POLICY is a strategy object — tcp::CongestionControl — owned by
+// the sender: Tahoe, Reno, NewReno (+SACK), CUBIC, Vegas, or the constant
+// window of the paper's disentangling experiments. The transport fires the
+// hook contract (on_ack / on_dup_ack / on_dup_ack_loss / on_timeout /
+// on_sent) at exactly the points the original subclass-based senders fired
+// their virtual handlers, so porting an algorithm onto the interface is
+// byte-identical (regression-locked by tests/cc_equivalence_test.cc).
 //
 // "Nonpaced" operation (the paper's default) means deliver() transmits new
 // data synchronously upon processing an ACK. Setting pacing_interval > 0
-// spreads transmissions out instead, which is the pacing ablation (E12).
+// (in SenderParams or from the controller) spreads transmissions out
+// instead, which is the pacing ablation (E12).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "net/host.h"
 #include "net/packet.h"
 #include "sim/simulator.h"
+#include "tcp/congestion_control.h"
 #include "tcp/rtt_estimator.h"
+#include "tcp/sack.h"
 
 namespace tcpdyn::tcp {
 
@@ -47,7 +55,8 @@ struct SenderCounters {
 
 class WindowSender : public net::PacketSink {
  public:
-  WindowSender(sim::Simulator& sim, net::Host& host, SenderParams params);
+  WindowSender(sim::Simulator& sim, net::Host& host, SenderParams params,
+               std::unique_ptr<CongestionControl> cc);
 
   // Begins transmitting at absolute time `at` (>= now).
   void start(sim::Time at);
@@ -62,16 +71,26 @@ class WindowSender : public net::PacketSink {
   // net::PacketSink: handles an arriving ACK.
   void deliver(const net::Packet& ack) override;
 
-  // Usable send window in packets: wnd = floor(min(cwnd, maxwnd)) for Tahoe,
-  // the constant window for FixedWindowSender. Always >= 1 once started.
-  virtual std::uint32_t window() const = 0;
+  // Usable send window in packets, as the congestion controller dictates.
+  // Always >= 1 for adaptive controllers once started.
+  std::uint32_t window() const { return cc_->usable_window(); }
+
+  CongestionControl& cc() { return *cc_; }
+  const CongestionControl& cc() const { return *cc_; }
 
   std::uint32_t snd_una() const { return snd_una_; }
   std::uint32_t snd_nxt() const { return snd_nxt_; }
   std::uint32_t outstanding() const { return snd_nxt_ - snd_una_; }
+  bool in_sack_recovery() const { return in_sack_recovery_; }
+  const SackScoreboard& scoreboard() const { return scoreboard_; }
   const SenderCounters& counters() const { return counters_; }
   const RttEstimator& rtt() const { return rtt_; }
   const SenderParams& params() const { return params_; }
+
+  // Transmits whatever the current window allows. Public so a controller
+  // whose window grew outside the ACK path (FixedWindowCc::set_window) can
+  // trigger transmission.
+  void pump() { send_available(); }
 
   // Hooks for tracing.
   std::function<void(sim::Time, const net::Packet&)> on_send;
@@ -81,16 +100,6 @@ class WindowSender : public net::PacketSink {
   std::function<void(sim::Time, sim::Time)> on_rtt_sample;
 
  protected:
-  // Called once per ACK that acknowledges new data (window opening policy).
-  virtual void handle_new_ack(std::uint32_t newly_acked) = 0;
-  // Called when a loss is detected, before retransmission (window closing
-  // policy).
-  virtual void handle_loss(LossSignal signal) = 0;
-  // Called for every duplicate ACK that does not itself trigger the loss
-  // (i.e. below or beyond the threshold). Reno inflates its window here
-  // during fast recovery; Tahoe ignores it.
-  virtual void handle_dup_ack() {}
-
   // Transmits as much as the window allows (subject to pacing).
   void send_available();
 
@@ -99,11 +108,14 @@ class WindowSender : public net::PacketSink {
  private:
   void send_packet(std::uint32_t seq);
   void loss_detected(LossSignal signal);
+  void retransmit_next_hole();
   void arm_rto();
   void schedule_paced_send();
+  sim::Time effective_pacing_interval() const;
 
   net::Host& host_;
   SenderParams params_;
+  std::unique_ptr<CongestionControl> cc_;
   RttEstimator rtt_;
   SenderCounters counters_;
   bool started_ = false;
@@ -114,6 +126,17 @@ class WindowSender : public net::PacketSink {
   std::uint32_t high_water_ = 0;  // highest seq ever sent + 1
   std::uint32_t dupacks_ = 0;
   std::uint64_t next_uid_ = 0;
+
+  // SACK recovery state (only used when cc_->wants_sack()). Recovery begins
+  // at the dup-ACK threshold and ends when the cumulative ACK reaches
+  // `recover_` (the highest sequence outstanding when loss was detected —
+  // RFC 6582's recovery point). During recovery each further duplicate ACK
+  // retransmits the next scoreboard hole; a partial ACK retransmits the new
+  // snd_una immediately.
+  SackScoreboard scoreboard_;
+  bool in_sack_recovery_ = false;
+  std::uint32_t recover_ = 0;
+  std::uint32_t sack_retx_high_ = 0;  // everything below this was resent
 
   // RTT timing (one packet at a time, as BSD does; Karn's rule: timing is
   // abandoned whenever a loss forces retransmission).

@@ -1,4 +1,5 @@
-// BSD 4.3-Tahoe congestion control (paper §2.1).
+// BSD 4.3-Tahoe congestion control (paper §2.1), as a CongestionControl
+// strategy.
 //
 // State: congestion window `cwnd` (a real number, in packets) and threshold
 // `ssthresh`. On each ACK of new data:
@@ -7,9 +8,9 @@
 // The paper removes a floor-related anomaly by using cwnd += 1/⌊cwnd⌋ in
 // congestion avoidance so ⌊cwnd⌋ increases by exactly one per epoch; that
 // modified increment is the default here (modified_ca_increment). As in the
-// BSD code, cwnd is capped at maxwnd after every increase, so a long
-// loss-free stretch cannot inflate the accumulator beyond the effective
-// window (and ssthresh after a loss is at most maxwnd / 2 + 1).
+// BSD code, cwnd is capped at maxwnd after every increase (the shared
+// capped() helper), so a long loss-free stretch cannot inflate the
+// accumulator beyond the effective window.
 //
 // On any detected loss (dup ACKs or timeout):
 //     ssthresh = max(min(cwnd / 2, maxwnd), 2);
@@ -20,46 +21,85 @@
 #pragma once
 
 #include <cmath>
-#include <functional>
 
+#include "tcp/congestion_control.h"
 #include "tcp/sender.h"
 
 namespace tcpdyn::tcp {
 
-struct TahoeParams {
-  double initial_cwnd = 1.0;
-  std::uint32_t initial_ssthresh = UINT32_MAX;  // effectively unbounded
-  // Paper §2.1: use cwnd += 1/⌊cwnd⌋ instead of 1/cwnd in congestion
-  // avoidance, so that the window grows by one packet per epoch exactly.
-  bool modified_ca_increment = true;
-};
-
-class TahoeSender : public WindowSender {
+class TahoeCc : public CongestionControl {
  public:
-  TahoeSender(sim::Simulator& sim, net::Host& host, SenderParams params,
-              TahoeParams tahoe = {});
+  explicit TahoeCc(TahoeParams params = {})
+      : tahoe_(params),
+        cwnd_(params.initial_cwnd),
+        ssthresh_(params.initial_ssthresh) {}
 
-  std::uint32_t window() const override;
+  const char* name() const override { return "tahoe"; }
+  CcAlgorithm algorithm() const override { return CcAlgorithm::kTahoe; }
+  double cwnd() const override { return cwnd_; }
 
-  double cwnd() const { return cwnd_; }
   std::uint32_t ssthresh() const { return ssthresh_; }
-  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+  bool in_slow_start() const {
+    return cwnd_ < static_cast<double>(ssthresh_);
+  }
 
-  // Fired whenever cwnd changes (ACK of new data, or loss).
-  std::function<void(sim::Time, double)> on_cwnd_change;
+  void on_ack(const AckContext& ctx) override {
+    // One window increase per ACK of new data, exactly as the BSD code does
+    // (with delayed ACKs the receiver sends fewer ACKs, so the window opens
+    // more slowly — the paper notes this pacing side effect in §5).
+    grow(tahoe_.modified_ca_increment);
+    notify(ctx.now, CcEvent::kAck);
+  }
+
+  void on_dup_ack_loss(sim::Time now) override {
+    collapse(now, CcEvent::kFastRetransmit);
+  }
+
+  void on_timeout(sim::Time now) override {
+    collapse(now, CcEvent::kTimeout);
+  }
 
  protected:
-  void handle_new_ack(std::uint32_t newly_acked) override;
-  void handle_loss(LossSignal signal) override;
+  // Shared by Tahoe and Reno's non-recovery ACK path.
+  void grow(bool modified_increment) {
+    if (cwnd_ < static_cast<double>(ssthresh_)) {
+      cwnd_ += 1.0;  // slow start / congestion recovery
+    } else if (modified_increment) {
+      cwnd_ += 1.0 / std::floor(cwnd_);  // paper's anomaly-free increment
+    } else {
+      cwnd_ += 1.0 / cwnd_;  // original BSD 4.3-Tahoe increment
+    }
+    cwnd_ = capped(cwnd_);
+  }
 
- private:
-  void notify() {
-    if (on_cwnd_change) on_cwnd_change(sim_.now(), cwnd_);
+  void collapse(sim::Time now, CcEvent why) {
+    // ssthresh = max(min(cwnd/2, maxwnd), 2); cwnd = 1 (paper §2.1).
+    ssthresh_ = halved_ssthresh(cwnd_);
+    cwnd_ = 1.0;
+    notify(now, why);
   }
 
   TahoeParams tahoe_;
   double cwnd_;
   std::uint32_t ssthresh_;
+};
+
+// Convenience sender owning a TahoeCc, preserving the historic construction
+// and accessor surface (tests and benches build these directly).
+class TahoeSender final : public WindowSender {
+ public:
+  TahoeSender(sim::Simulator& sim, net::Host& host, SenderParams params,
+              TahoeParams tahoe = {})
+      : WindowSender(sim, host, params, std::make_unique<TahoeCc>(tahoe)) {}
+
+  TahoeCc& tahoe_cc() { return static_cast<TahoeCc&>(cc()); }
+  const TahoeCc& tahoe_cc() const {
+    return static_cast<const TahoeCc&>(cc());
+  }
+
+  double cwnd() const { return tahoe_cc().cwnd(); }
+  std::uint32_t ssthresh() const { return tahoe_cc().ssthresh(); }
+  bool in_slow_start() const { return tahoe_cc().in_slow_start(); }
 };
 
 }  // namespace tcpdyn::tcp

@@ -54,7 +54,7 @@ BlackoutRun run_blackout() {
   cfg.src_host = h.host1;
   cfg.dst_host = h.host2;
   tcp::Connection& conn = exp.add_connection(cfg);
-  tcp::TahoeSender* tahoe = conn.tahoe();
+  tcp::TahoeCc* tahoe = conn.tahoe();
   tcp::WindowSender& sender = conn.sender();
 
   sender.on_loss_detected = [&](sim::Time t, tcp::LossSignal signal) {
@@ -64,7 +64,7 @@ BlackoutRun run_blackout() {
                             sender.counters().retransmits,
                             sender.counters().data_sent});
   };
-  tahoe->on_cwnd_change = [&](sim::Time t, double cwnd) {
+  tahoe->on_cwnd_change = [&](sim::Time t, double cwnd, tcp::CcEvent) {
     out.cwnd.push_back({t.sec(), cwnd});
   };
 

@@ -1,0 +1,159 @@
+// CUBIC: integer cube root exactness, the integer curve against the
+// closed-form double evaluation, concave regrowth toward W_max, the β
+// multiplicative decrease, and fast convergence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "tcp/cc_cubic.h"
+
+namespace tcpdyn::tcp {
+namespace {
+
+constexpr std::uint64_t kCubeFactor = 1024ULL * 100 * 100 * 100;
+
+TEST(CubicMath, CubeRootExactOnCubes) {
+  for (std::uint64_t r : {0ULL, 1ULL, 2ULL, 7ULL, 100ULL, 12345ULL,
+                          2097151ULL}) {
+    EXPECT_EQ(CubicCc::cube_root(r * r * r), r) << r;
+    if (r > 1) {
+      // One below the cube floors down, one above floors to r.
+      EXPECT_EQ(CubicCc::cube_root(r * r * r - 1), r - 1) << r;
+      EXPECT_EQ(CubicCc::cube_root(r * r * r + 1), r) << r;
+    }
+  }
+}
+
+TEST(CubicMath, CubeRootMatchesCbrtOverRange) {
+  // Dense-ish scan plus the 64-bit extremes; the integer root must always
+  // be the floor of the real cube root.
+  std::uint64_t x = 1;
+  while (x < (1ULL << 62)) {
+    const std::uint64_t r = CubicCc::cube_root(x);
+    EXPECT_LE(r * r * r, x);
+    // (r+1)^3 can overflow only past 2^63, excluded by the loop bound.
+    EXPECT_GT((r + 1) * (r + 1) * (r + 1), x);
+    x = x * 3 + 1;
+  }
+  EXPECT_EQ(CubicCc::cube_root(UINT64_MAX), 2642245u);
+}
+
+TEST(CubicMath, TargetMatchesClosedForm) {
+  // W(t) = origin + C·(t − K)³ with C = 410/1024 pkts/s³, t in seconds.
+  const std::uint32_t origin = 80;
+  const std::uint32_t c_1024 = 410;
+  const std::uint64_t k_cs = 250;  // K = 2.5 s
+  for (std::uint64_t t_cs : {0ULL, 50ULL, 249ULL, 250ULL, 251ULL, 400ULL,
+                             1000ULL, 3000ULL}) {
+    const double t = static_cast<double>(t_cs) / 100.0;
+    const double k = static_cast<double>(k_cs) / 100.0;
+    const double expect =
+        static_cast<double>(origin) +
+        (static_cast<double>(c_1024) / 1024.0) * std::pow(t - k, 3.0);
+    const std::uint32_t got =
+        CubicCc::cubic_target(origin, k_cs, t_cs, c_1024);
+    // Integer truncation of the delta: within one packet of the real curve.
+    EXPECT_NEAR(static_cast<double>(got), expect, 1.0) << "t_cs=" << t_cs;
+  }
+}
+
+TEST(CubicMath, TargetFloorsAtOneAndCapsAtMax) {
+  // Far below K the concave branch would go negative: clamps to 1.
+  EXPECT_EQ(CubicCc::cubic_target(2, 10'000, 0, 410), 1u);
+  // Far above K the convex branch saturates instead of wrapping.
+  EXPECT_EQ(CubicCc::cubic_target(UINT32_MAX - 1, 0, 1ULL << 40, 410),
+            UINT32_MAX);
+}
+
+AckContext at(double t_sec) {
+  AckContext ctx;
+  ctx.now = sim::Time::seconds(t_sec);
+  return ctx;
+}
+
+TEST(CubicCcTest, SlowStartThenConcaveRegrowth) {
+  CubicParams p;
+  p.initial_ssthresh = 16;
+  CubicCc cc(p);
+  cc.bind(nullptr, CcEnv{});
+  EXPECT_TRUE(cc.in_slow_start());
+  double t = 0.0;
+  while (cc.in_slow_start()) {
+    cc.on_ack(at(t));
+    t += 0.001;
+  }
+  EXPECT_EQ(static_cast<std::uint32_t>(cc.cwnd()), 16u);
+
+  // A fast-retransmit loss at cwnd 16: β = 717/1024 → cwnd 11, W_max 16.
+  cc.on_dup_ack_loss(sim::Time::seconds(t));
+  EXPECT_EQ(static_cast<std::uint32_t>(cc.cwnd()), 11u);
+  EXPECT_EQ(cc.w_max(), 16u);
+  EXPECT_EQ(cc.ssthresh(), 11u);
+
+  // Feed ACKs along one simulated RTT grid. The window must regrow
+  // monotonically, stay concave below W_max (never overshoot it while
+  // t < K), and eventually pass W_max on the convex branch.
+  std::uint32_t last = 11;
+  bool passed_wmax = false;
+  for (int i = 0; i < 120'000 && !passed_wmax; ++i) {
+    t += 0.001;
+    cc.on_ack(at(t));
+    const auto w = static_cast<std::uint32_t>(cc.cwnd());
+    EXPECT_GE(w, last);
+    last = w;
+    if (w > 16) passed_wmax = true;
+  }
+  EXPECT_TRUE(passed_wmax);
+  // K = ∛((W_max − cwnd)/C) = ∛(5 · 1024/410) s ≈ 2.32 s: the curve needs
+  // a few simulated seconds, not a few ACKs, to regain W_max.
+  EXPECT_GE(cc.k_centisec(), 200u);
+  EXPECT_LE(cc.k_centisec(), 300u);
+}
+
+TEST(CubicCcTest, FastConvergenceShrinksWmax) {
+  CubicParams p;
+  p.initial_ssthresh = 100;
+  CubicCc cc(p);
+  cc.bind(nullptr, CcEnv{});
+  for (int i = 0; i < 99; ++i) cc.on_ack(at(0.001 * i));
+  ASSERT_EQ(static_cast<std::uint32_t>(cc.cwnd()), 100u);
+  cc.on_dup_ack_loss(sim::Time::seconds(1.0));
+  EXPECT_EQ(cc.w_max(), 100u);  // first loss: from above any previous max
+  const std::uint32_t after_first = static_cast<std::uint32_t>(cc.cwnd());
+  EXPECT_EQ(after_first, 100u * 717u / 1024u);
+  // Second loss BELOW the standing W_max: fast convergence remembers less
+  // than the current window, (1024+β)/2048 of it.
+  cc.on_dup_ack_loss(sim::Time::seconds(2.0));
+  EXPECT_EQ(cc.w_max(), after_first * (1024u + 717u) / 2048u);
+  EXPECT_LT(cc.w_max(), after_first);
+}
+
+TEST(CubicCcTest, TimeoutCollapsesToOne) {
+  CubicParams p;
+  p.initial_ssthresh = 20;
+  CubicCc cc(p);
+  cc.bind(nullptr, CcEnv{});
+  for (int i = 0; i < 19; ++i) cc.on_ack(at(0.001 * i));
+  cc.on_timeout(sim::Time::seconds(1.0));
+  EXPECT_EQ(static_cast<std::uint32_t>(cc.cwnd()), 1u);
+  EXPECT_EQ(cc.usable_window(), 1u);
+  EXPECT_EQ(cc.ssthresh(), 20u * 717u / 1024u);
+  EXPECT_TRUE(cc.in_slow_start());
+}
+
+TEST(CubicCcTest, NoFloatingPointEntersTheWindow) {
+  // The public window is always an exact small integer (the hot path is
+  // integer-only; cwnd() merely widens for the tracing interface).
+  CubicCc cc;
+  cc.bind(nullptr, CcEnv{});
+  for (int i = 0; i < 1000; ++i) {
+    cc.on_ack(at(0.37 * i));
+    const double w = cc.cwnd();
+    EXPECT_EQ(w, std::floor(w));
+    EXPECT_EQ(static_cast<std::uint32_t>(w), cc.usable_window());
+  }
+}
+
+}  // namespace
+}  // namespace tcpdyn::tcp

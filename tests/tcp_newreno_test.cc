@@ -1,0 +1,265 @@
+// NewReno + SACK recovery: scoreboard arithmetic, partial-ACK retransmission
+// without fresh duplicate ACKs (RFC 6582), hole-by-hole retransmission from
+// further duplicates, and the deliberate ignoring of SACK reneging.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/network.h"
+#include "tcp/cc_newreno.h"
+#include "tcp/sack.h"
+#include "tcp/sender.h"
+
+namespace tcpdyn::tcp {
+namespace {
+
+// ------------------------------------------------------------- scoreboard
+
+TEST(SackScoreboard, MarksCoalesceAndTrim) {
+  SackScoreboard sb;
+  EXPECT_TRUE(sb.empty());
+  sb.mark(10, 12);
+  sb.mark(14, 16);
+  EXPECT_EQ(sb.range_count(), 2u);
+  EXPECT_TRUE(sb.covers(10));
+  EXPECT_FALSE(sb.covers(12));
+  EXPECT_TRUE(sb.covers(15));
+  // Bridging mark merges all three into one range.
+  sb.mark(12, 14);
+  EXPECT_EQ(sb.range_count(), 1u);
+  EXPECT_TRUE(sb.covers(13));
+  // Cumulative ACK into the middle trims the left edge.
+  sb.ack_to(11);
+  EXPECT_FALSE(sb.covers(10));
+  EXPECT_TRUE(sb.covers(11));
+  sb.ack_to(16);
+  EXPECT_TRUE(sb.empty());
+}
+
+TEST(SackScoreboard, AdjacentAndOverlappingMarks) {
+  SackScoreboard sb;
+  sb.mark(5, 7);
+  sb.mark(7, 9);  // adjacent: one range
+  EXPECT_EQ(sb.range_count(), 1u);
+  sb.mark(4, 6);  // overlapping extension to the left
+  EXPECT_EQ(sb.range_count(), 1u);
+  EXPECT_TRUE(sb.covers(4));
+  EXPECT_TRUE(sb.covers(8));
+  EXPECT_FALSE(sb.covers(9));
+  sb.mark(9, 9);  // empty range is a no-op
+  EXPECT_FALSE(sb.covers(9));
+}
+
+TEST(SackScoreboard, NextHoleWalksGaps) {
+  SackScoreboard sb;
+  sb.mark(12, 14);
+  sb.mark(16, 18);
+  // 10 and 11 are below the first range: the first hole is `from` itself.
+  EXPECT_EQ(sb.next_hole(10), 10u);
+  // Inside a SACKed range, skip to its end.
+  EXPECT_EQ(sb.next_hole(12), 14u);
+  EXPECT_EQ(sb.next_hole(14), 14u);
+  EXPECT_EQ(sb.next_hole(15), 15u);
+  // At or above the highest SACKed sequence there is no known hole.
+  EXPECT_EQ(sb.next_hole(18), std::nullopt);
+  EXPECT_EQ(sb.next_hole(25), std::nullopt);
+}
+
+// ------------------------------------------------- controller (hook-level)
+
+AckContext ack_ctx(double t, std::uint32_t newly, std::uint32_t to,
+                   bool in_recovery = false, bool partial = false) {
+  AckContext ctx;
+  ctx.now = sim::Time::seconds(t);
+  ctx.newly_acked = newly;
+  ctx.acked_to = to;
+  ctx.in_recovery = in_recovery;
+  ctx.partial = partial;
+  return ctx;
+}
+
+TEST(NewRenoCc, PartialAckDeflatesByAmountAcked) {
+  NewRenoCc cc;
+  cc.bind(nullptr, CcEnv{});
+  // Grow to cwnd 10 in slow start, then lose.
+  for (int i = 0; i < 9; ++i) cc.on_ack(ack_ctx(0.1 * i, 1, i + 1));
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 10.0);
+  cc.on_dup_ack_loss(sim::Time::seconds(1.0));
+  EXPECT_TRUE(cc.in_recovery());
+  EXPECT_EQ(cc.ssthresh(), 5u);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 8.0);  // ssthresh + 3
+  // Two duplicates inflate.
+  cc.on_dup_ack(sim::Time::seconds(1.1));
+  cc.on_dup_ack(sim::Time::seconds(1.2));
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 10.0);
+  // Partial ACK of 4 packets: deflate by 4, re-inflate by 1 for the resend.
+  cc.on_ack(ack_ctx(1.3, 4, 13, /*in_recovery=*/true, /*partial=*/true));
+  EXPECT_TRUE(cc.in_recovery());
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 7.0);
+  // A huge partial ACK cannot deflate below ssthresh.
+  cc.on_ack(ack_ctx(1.4, 100, 113, /*in_recovery=*/true, /*partial=*/true));
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 5.0);
+  // Full ACK (in recovery, not partial) exits at ssthresh.
+  cc.on_ack(ack_ctx(1.5, 2, 115, /*in_recovery=*/true, /*partial=*/false));
+  EXPECT_FALSE(cc.in_recovery());
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 5.0);
+}
+
+TEST(NewRenoCc, TimeoutAbandonsRecovery) {
+  NewRenoCc cc;
+  cc.bind(nullptr, CcEnv{});
+  for (int i = 0; i < 7; ++i) cc.on_ack(ack_ctx(0.1 * i, 1, i + 1));
+  cc.on_dup_ack_loss(sim::Time::seconds(1.0));
+  ASSERT_TRUE(cc.in_recovery());
+  cc.on_timeout(sim::Time::seconds(2.0));
+  EXPECT_FALSE(cc.in_recovery());
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 1.0);
+}
+
+// --------------------------------------------------- transport (SACK path)
+
+class NullSink : public net::PacketSink {
+ public:
+  void deliver(const net::Packet&) override {}
+};
+
+class NewRenoSenderTest : public ::testing::Test {
+ protected:
+  NewRenoSenderTest() : net_(sim_, sim::Time::zero()) {
+    h1_ = net_.add_host("H1");
+    h2_ = net_.add_host("H2");
+    net_.connect(h1_, h2_, 1'000'000'000, sim::Time::zero(),
+                 net::QueueLimit::infinite(), net::QueueLimit::infinite());
+    net_.compute_routes();
+    net_.host(h2_).register_endpoint(0, net::PacketKind::kData, &null_);
+  }
+
+  std::unique_ptr<WindowSender> make_sender() {
+    SenderParams p;
+    p.conn = 0;
+    p.self = h1_;
+    p.peer = h2_;
+    auto s = std::make_unique<WindowSender>(sim_, net_.host(h1_), p,
+                                            std::make_unique<NewRenoCc>());
+    s->on_send = [this](sim::Time, const net::Packet& pkt) {
+      sent_.push_back(pkt);
+    };
+    s->start(sim::Time::zero());
+    sim_.run_until(sim::Time::zero());
+    return s;
+  }
+
+  // Delivers an ACK carrying up to two SACK blocks.
+  void ack(WindowSender& s, std::uint32_t ack_no,
+           std::vector<net::SackBlock> blocks = {}) {
+    net::Packet a;
+    a.conn = 0;
+    a.kind = net::PacketKind::kAck;
+    a.ack = ack_no;
+    a.size_bytes = 50;
+    a.sack_count = static_cast<std::uint8_t>(blocks.size());
+    for (std::size_t i = 0; i < blocks.size() && i < net::kMaxSackBlocks;
+         ++i) {
+      a.sack[i] = blocks[i];
+    }
+    s.deliver(a);
+  }
+
+  // Grows the sender out of the initial one-packet window: ACK the first
+  // `n` packets one by one (slow start => cwnd = n + 1).
+  void open_window(WindowSender& s, std::uint32_t n) {
+    for (std::uint32_t i = 1; i <= n; ++i) ack(s, i);
+  }
+
+  std::vector<std::uint32_t> retransmitted_seqs() const {
+    std::vector<std::uint32_t> v;
+    for (const auto& p : sent_) {
+      if (p.retransmit) v.push_back(p.seq);
+    }
+    return v;
+  }
+
+  sim::Simulator sim_;
+  net::Network net_;
+  net::NodeId h1_ = 0, h2_ = 0;
+  NullSink null_;
+  std::vector<net::Packet> sent_;
+};
+
+TEST_F(NewRenoSenderTest, DupAcksEnterScoreboardRecovery) {
+  auto s = make_sender();
+  open_window(*s, 7);  // cwnd 8, packets 7..14 outstanding
+  ASSERT_EQ(s->snd_nxt(), 15u);
+  // Packet 7 is lost; 8 and 9 arrive and produce SACKed duplicates.
+  ack(*s, 7, {{8, 9}});
+  ack(*s, 7, {{8, 10}});
+  EXPECT_FALSE(s->in_sack_recovery());
+  ack(*s, 7, {{8, 11}});  // third duplicate: loss detected
+  EXPECT_TRUE(s->in_sack_recovery());
+  EXPECT_EQ(s->counters().dup_ack_losses, 1u);
+  ASSERT_EQ(retransmitted_seqs(), (std::vector<std::uint32_t>{7}));
+  // A fourth duplicate whose blocks expose a gap (12 arrived but 11 did
+  // not: scoreboard [8,11) ∪ [12,13)) retransmits the hole at 11.
+  ack(*s, 7, {{8, 10}, {12, 13}});
+  EXPECT_EQ(retransmitted_seqs(), (std::vector<std::uint32_t>{7, 11}));
+}
+
+TEST_F(NewRenoSenderTest, PartialAckRetransmitsWithoutNewDupAcks) {
+  auto s = make_sender();
+  open_window(*s, 7);  // packets 7..14 outstanding
+  // Two holes: 7 and 10 lost, everything else received.
+  ack(*s, 7, {{8, 10}});
+  ack(*s, 7, {{8, 10}, {11, 12}});
+  ack(*s, 7, {{8, 10}, {11, 13}});
+  ASSERT_TRUE(s->in_sack_recovery());
+  ASSERT_EQ(retransmitted_seqs(), (std::vector<std::uint32_t>{7}));
+  // The retransmitted 7 fills the first hole: the receiver now ACKs up to
+  // 10 (the next hole) — a PARTIAL ack. NewReno retransmits 10 at once,
+  // with no further duplicate ACKs.
+  ack(*s, 10, {{11, 13}});
+  EXPECT_TRUE(s->in_sack_recovery());
+  const auto retx = retransmitted_seqs();
+  ASSERT_EQ(retx.size(), 2u);
+  EXPECT_EQ(retx[1], 10u);
+  // Filling hole 10 covers the recovery point once everything outstanding
+  // at loss detection is acknowledged.
+  ack(*s, s->snd_nxt());
+  EXPECT_FALSE(s->in_sack_recovery());
+  EXPECT_TRUE(s->scoreboard().empty());
+}
+
+TEST_F(NewRenoSenderTest, RenegingIsIgnored) {
+  auto s = make_sender();
+  open_window(*s, 7);
+  ack(*s, 7, {{8, 12}});
+  EXPECT_TRUE(s->scoreboard().covers(9));
+  // Later duplicates with NO sack blocks (a reneging receiver would stop
+  // reporting): the marks must persist.
+  ack(*s, 7);
+  ack(*s, 7);
+  EXPECT_TRUE(s->in_sack_recovery());
+  EXPECT_TRUE(s->scoreboard().covers(9));
+  EXPECT_TRUE(s->scoreboard().covers(11));
+  // Only the cumulative ACK clears them.
+  ack(*s, s->snd_nxt());
+  EXPECT_TRUE(s->scoreboard().empty());
+}
+
+TEST_F(NewRenoSenderTest, ThresholdNotRetriggeredDuringRecovery) {
+  auto s = make_sender();
+  open_window(*s, 7);
+  ack(*s, 7, {{8, 9}});
+  ack(*s, 7, {{8, 10}});
+  ack(*s, 7, {{8, 11}});
+  ASSERT_TRUE(s->in_sack_recovery());
+  ASSERT_EQ(s->counters().dup_ack_losses, 1u);
+  // Three MORE duplicates inside recovery must not count a second loss.
+  ack(*s, 7, {{8, 12}});
+  ack(*s, 7, {{8, 13}});
+  ack(*s, 7, {{8, 14}});
+  EXPECT_EQ(s->counters().dup_ack_losses, 1u);
+}
+
+}  // namespace
+}  // namespace tcpdyn::tcp

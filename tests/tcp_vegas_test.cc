@@ -1,0 +1,126 @@
+// Vegas: backlog estimation (diff = cwnd·(RTT−base)/RTT), the alpha/beta
+// steering band, the gamma-triggered deflating slow-start exit, and loss
+// reactions. The controller is driven directly with crafted AckContexts so
+// every RTT sample and epoch boundary is chosen by the test.
+#include <gtest/gtest.h>
+
+#include "tcp/cc_vegas.h"
+
+namespace tcpdyn::tcp {
+namespace {
+
+// One Vegas epoch: pretend `w` packets were sent, deliver one RTT sample of
+// `rtt_ms`, and cross the epoch boundary so epoch_adjust runs exactly once.
+void run_epoch(VegasCc& cc, double t, std::uint32_t* next_seq,
+               double rtt_ms) {
+  const auto w = static_cast<std::uint32_t>(cc.cwnd());
+  for (std::uint32_t i = 0; i < w; ++i) {
+    cc.on_sent(sim::Time::seconds(t), (*next_seq)++, false);
+  }
+  AckContext ctx;
+  ctx.now = sim::Time::seconds(t);
+  ctx.newly_acked = w;
+  ctx.acked_to = *next_seq;  // covers everything sent: boundary crossed
+  ctx.rtt_valid = true;
+  ctx.rtt = sim::Time::milliseconds(rtt_ms);
+  cc.on_ack(ctx);
+}
+
+VegasParams avoidance_params(double initial_cwnd) {
+  VegasParams p;
+  p.initial_cwnd = initial_cwnd;
+  p.initial_ssthresh = 1;  // start in congestion avoidance
+  return p;
+}
+
+TEST(VegasCc, GrowsWhenBacklogBelowAlpha) {
+  VegasCc cc(avoidance_params(10.0));
+  cc.bind(nullptr, CcEnv{});
+  std::uint32_t seq = 0;
+  // First epoch establishes base = 100 ms; diff 0 < alpha (2) → +1.
+  run_epoch(cc, 0.0, &seq, 100.0);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 11.0);
+  EXPECT_EQ(cc.last_diff(), 0u);
+  // diff = ⌊11·(110−100)/110⌋ = 1 < alpha: still spare room, +1 per RTT.
+  run_epoch(cc, 1.0, &seq, 110.0);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 12.0);
+  EXPECT_EQ(cc.last_diff(), 1u);
+}
+
+TEST(VegasCc, HoldsInsideAlphaBetaBand) {
+  VegasCc cc(avoidance_params(10.0));
+  cc.bind(nullptr, CcEnv{});
+  std::uint32_t seq = 0;
+  run_epoch(cc, 0.0, &seq, 100.0);  // base 100 ms; diff 0 → cwnd 11
+  ASSERT_DOUBLE_EQ(cc.cwnd(), 11.0);
+  // diff = ⌊11·(140−100)/140⌋ = 3, inside [alpha=2, beta=4]: hold.
+  run_epoch(cc, 1.0, &seq, 140.0);
+  EXPECT_EQ(cc.last_diff(), 3u);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 11.0);  // sweet spot: no change
+}
+
+TEST(VegasCc, ShrinksWhenBacklogAboveBeta) {
+  VegasCc cc(avoidance_params(10.0));
+  cc.bind(nullptr, CcEnv{});
+  std::uint32_t seq = 0;
+  run_epoch(cc, 0.0, &seq, 100.0);  // base 100 ms; diff 0 → cwnd 11
+  // diff = ⌊11·(200−100)/200⌋ = 5 > beta (4): back off by one per RTT.
+  run_epoch(cc, 1.0, &seq, 200.0);
+  EXPECT_EQ(cc.last_diff(), 5u);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 10.0);
+}
+
+TEST(VegasCc, SlowStartExitsThroughGammaAndDeflates) {
+  VegasCc cc;  // defaults: cwnd 2, ssthresh infinite => slow start
+  cc.bind(nullptr, CcEnv{});
+  EXPECT_TRUE(cc.in_slow_start());
+  std::uint32_t seq = 0;
+  run_epoch(cc, 0.0, &seq, 100.0);  // base RTT, diff 0 → +1 (boundary ack)
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 3.0);
+  // Between boundaries, slow start grows +1 per ACK. (acked_to stays below
+  // the boundary sequence; the bloated RTT feeds the epoch minimum.)
+  cc.on_sent(sim::Time::seconds(0.4), seq + 5, false);
+  AckContext mid;
+  mid.now = sim::Time::seconds(0.5);
+  mid.newly_acked = 1;
+  mid.acked_to = seq - 1;
+  mid.rtt_valid = true;
+  mid.rtt = sim::Time::milliseconds(250.0);
+  cc.on_ack(mid);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 4.0);
+  // Next boundary still at 250 ms: diff = ⌊4·(250−100)/250⌋ = 2 > gamma
+  // (1): deflate by the backlog (keep one) and leave slow start for good.
+  run_epoch(cc, 1.0, &seq, 250.0);
+  EXPECT_FALSE(cc.in_slow_start());
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 3.0);  // 4 − 2 + 1
+  EXPECT_EQ(cc.ssthresh(), 3u);
+}
+
+TEST(VegasCc, LossReactions) {
+  VegasCc cc(avoidance_params(16.0));
+  cc.bind(nullptr, CcEnv{});
+  // Fast retransmit: gentle 3/4 reduction.
+  cc.on_dup_ack_loss(sim::Time::seconds(1.0));
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 12.0);
+  EXPECT_EQ(cc.ssthresh(), 8u);
+  // Timeout: restart from two packets (not one: Vegas needs RTT samples).
+  cc.on_timeout(sim::Time::seconds(2.0));
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 2.0);
+  EXPECT_EQ(cc.ssthresh(), 6u);
+  EXPECT_GE(cc.usable_window(), 1u);
+}
+
+TEST(VegasCc, BaseRttTracksTheMinimum) {
+  VegasCc cc(avoidance_params(4.0));
+  cc.bind(nullptr, CcEnv{});
+  std::uint32_t seq = 0;
+  run_epoch(cc, 0.0, &seq, 120.0);
+  EXPECT_EQ(cc.base_rtt(), sim::Time::milliseconds(120.0));
+  run_epoch(cc, 1.0, &seq, 80.0);  // a new floor
+  EXPECT_EQ(cc.base_rtt(), sim::Time::milliseconds(80.0));
+  run_epoch(cc, 2.0, &seq, 200.0);  // queueing never raises the floor
+  EXPECT_EQ(cc.base_rtt(), sim::Time::milliseconds(80.0));
+}
+
+}  // namespace
+}  // namespace tcpdyn::tcp

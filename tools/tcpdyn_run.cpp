@@ -13,6 +13,7 @@
 #include <filesystem>
 #include <iostream>
 
+#include "core/cc_matrix.h"
 #include "core/csv_export.h"
 #include "core/report.h"
 #include "core/scenarios.h"
@@ -28,7 +29,8 @@ void declare_flags(util::Flags& flags) {
   flags
       .flag("scenario", "NAME",
             "fig2|fig3|fig4|fig6|fig8|fig9|oneway|twoway|fixed|chain|ring|"
-            "parking-lot|waxman|chaos|topo (also accepted positionally)",
+            "parking-lot|waxman|chaos|topo|cc-matrix (also accepted "
+            "positionally)",
             "fig4")
       .flag("file", "PATH", "topology file (scenario topo)", "")
       .flag("faults", "PATH",
@@ -44,6 +46,11 @@ void declare_flags(util::Flags& flags) {
       .flag("buffer", "PKTS", "bottleneck buffer", 20)
       .flag("conns", "N", "connection / flow count", 2)
       .flag("sender", "tahoe|reno", "adaptive sender kind", "tahoe")
+      .flag("cc", "LIST",
+            "comma-separated congestion controllers "
+            "(tahoe|reno|newreno|cubic|vegas|fixed); oneway/twoway cycle "
+            "flows through the list, cc-matrix uses it as the algorithm set",
+            "")
       .flag("delayed-ack", "receiver delayed-ACK option", false)
       .flag("pacing", "SEC", "pacing interval (0 = nonpaced)", 0.0)
       .flag("random-drop", "random-drop bottleneck discipline", false)
@@ -68,6 +75,27 @@ int fail(const util::Flags& flags, const std::string& msg) {
   return 2;
 }
 
+// Parses "--cc tahoe,cubic,vegas"; throws on an unknown name.
+std::vector<tcp::CcAlgorithm> parse_cc_list(const std::string& list) {
+  std::vector<tcp::CcAlgorithm> out;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = std::min(list.find(',', pos), list.size());
+    const std::string name = list.substr(pos, comma - pos);
+    if (!name.empty()) {
+      const auto algo = tcp::parse_cc(name);
+      if (!algo) {
+        throw std::invalid_argument("unknown congestion controller '" + name +
+                                    "' (tahoe|reno|newreno|cubic|vegas|"
+                                    "fixed)");
+      }
+      out.push_back(*algo);
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
 core::Scenario custom_dumbbell(const util::Flags& flags, bool two_way) {
   core::DumbbellParams p;
   p.tau = sim::Time::seconds(flags.get_double("tau"));
@@ -80,11 +108,14 @@ core::Scenario custom_dumbbell(const util::Flags& flags, bool two_way) {
 
   const auto n = static_cast<std::size_t>(flags.get_int("conns"));
   const std::string sender = flags.get("sender");
+  // --cc overrides --sender and may mix algorithms across the flows.
+  const std::vector<tcp::CcAlgorithm> cc_list = parse_cc_list(flags.get("cc"));
   std::vector<core::ConnSpec> conns(n);
   for (std::size_t i = 0; i < n; ++i) {
     conns[i].forward = two_way ? i < (n + 1) / 2 : true;
-    conns[i].kind = sender == "reno" ? tcp::SenderKind::kReno
-                                     : tcp::SenderKind::kTahoe;
+    conns[i].kind = !cc_list.empty() ? cc_list[i % cc_list.size()]
+                    : sender == "reno" ? tcp::SenderKind::kReno
+                                       : tcp::SenderKind::kTahoe;
     conns[i].delayed_ack = flags.get_bool("delayed-ack");
     conns[i].pacing_interval = sim::Time::seconds(flags.get_double("pacing"));
     conns[i].start_time = sim::Time::seconds(0.37 * static_cast<double>(i));
@@ -222,6 +253,38 @@ int main(int argc, char** argv) {
   const std::string which = flags.positional().empty()
                                 ? flags.get("scenario")
                                 : flags.positional()[0];
+
+  if (which == "cc-matrix") {
+    core::CcMatrixParams p;
+    try {
+      const auto algos = parse_cc_list(flags.get("cc"));
+      if (!algos.empty()) p.algos = algos;
+    } catch (const std::exception& e) {
+      return fail(flags, e.what());
+    }
+    if (flags.has("tau")) p.tau_sec = flags.get_double("tau");
+    if (flags.has("buffer")) {
+      p.buffer = static_cast<std::size_t>(flags.get_int("buffer"));
+    }
+    if (flags.has("conns")) {
+      p.flows_per_algo = static_cast<std::size_t>(flags.get_int("conns"));
+    }
+    if (flags.has("w1")) {
+      p.fixed_window = static_cast<std::uint32_t>(flags.get_int("w1"));
+    }
+    if (flags.has("warmup")) p.warmup_sec = flags.get_double("warmup");
+    if (flags.has("duration")) p.duration_sec = flags.get_double("duration");
+    if (flags.has("audit")) {
+      const auto mode = core::parse_audit_mode(flags.get("audit"));
+      if (!mode) {
+        return fail(flags, "unknown --audit mode '" + flags.get("audit") +
+                               "' (off|counters|full)");
+      }
+      p.audit = *mode;
+    }
+    core::print_cc_matrix(std::cout, core::run_cc_matrix(p));
+    return 0;
+  }
 
   core::Scenario scenario;
   try {

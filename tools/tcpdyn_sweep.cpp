@@ -20,6 +20,7 @@
 #include <optional>
 #include <string>
 
+#include "core/cc_matrix.h"
 #include "core/report.h"
 #include "core/scenarios.h"
 #include "core/sweep.h"
@@ -37,7 +38,7 @@ void declare_flags(util::Flags& flags) {
   flags
       .flag("scenario", "NAME",
             "fig2|fig3|fig4|fig6|fixed|reno|paced|random-drop|delayed-ack|"
-            "rtt|chain|ring|parking-lot|waxman|chaos",
+            "rtt|chain|ring|parking-lot|waxman|chaos|ccmix",
             "fig4")
       .flag("grid", "SPEC", "axis spec (required)", "")
       .flag("jobs", "N", "worker threads (0 = all hardware threads)", 0)
@@ -49,6 +50,10 @@ void declare_flags(util::Flags& flags) {
       .flag("tau", "SEC", "bottleneck propagation delay", "")
       .flag("buffer", "PKTS", "bottleneck buffer", "")
       .flag("conns", "N", "connection / flow count", "")
+      .flag("cc", "LIST",
+            "ccmix controller cycle, comma-separated "
+            "(tahoe|reno|newreno|cubic|vegas|fixed)",
+            "tahoe,reno,newreno,cubic,vegas")
       .flag("w1", "PKTS", "fixed-window size, forward", "")
       .flag("w2", "PKTS", "fixed-window size, reverse", "")
       .flag("spread", "SEC", "rtt scenario access-delay spread", "")
@@ -133,6 +138,29 @@ core::Scenario build_scenario(const std::string& which,
                                    param(pt, flags, "spread", 0.0),
                                    param(pt, flags, "tau", 0.01),
                                    as_size(param(pt, flags, "buffer", 20)));
+  }
+  if (which == "ccmix") {
+    // Mixed congestion controllers sharing one bottleneck. The cycle comes
+    // from --cc (names are not sweepable axes, but conns/tau/buffer are).
+    std::vector<tcp::CcAlgorithm> algos;
+    const std::string list = flags.get("cc");
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+      const std::size_t comma = std::min(list.find(',', pos), list.size());
+      const std::string name = list.substr(pos, comma - pos);
+      if (!name.empty()) {
+        const auto algo = tcp::parse_cc(name);
+        if (!algo) {
+          throw std::invalid_argument("unknown congestion controller '" +
+                                      name + "'");
+        }
+        algos.push_back(*algo);
+      }
+      pos = comma + 1;
+    }
+    return core::ccmix_twoway(algos, as_size(param(pt, flags, "conns", 6)),
+                              param(pt, flags, "tau", 0.01),
+                              as_size(param(pt, flags, "buffer", 20)));
   }
   if (which == "chain") {
     // The chain scenario's connection layout is random: use the per-point
