@@ -5,8 +5,9 @@
 // random-drop victim erase), the paper's Fig-2 and Fig-6 scenarios
 // end-to-end, a 512-flow parking-lot macro run (the Topology layer at
 // scale), a 3×3 congestion-control head-to-head matrix (the strategy
-// dispatch plus SACK/CUBIC/Vegas code paths), and a 16-point Fig-4 sweep —
-// and reports events/sec, packets/sec,
+// dispatch plus SACK/CUBIC/Vegas code paths), an all-BBR two-way dumbbell
+// (the delivery-rate sampler and pacing-timer hot paths), and a 16-point
+// Fig-4 sweep — and reports events/sec, packets/sec,
 // wall time, and peak RSS as JSON.
 //
 //   bench_perf_core --out BENCH_core.json              # measure
@@ -376,6 +377,16 @@ int main(int argc, char** argv) {
     return r;
   }));
   results.push_back(best_of(reps, [&] { return run_cc_matrix_small(scale); }));
+  results.push_back(best_of(reps, [&] {
+    // All-BBR two-way dumbbell: every ACK feeds the delivery-rate sampler
+    // and every send consults the model's pacing interval, so this is the
+    // one workload where the pacing timer (not the window) meters the
+    // senders.
+    core::Scenario sc = core::ccmix_twoway({tcp::CcAlgorithm::kBbr});
+    sc.warmup = sim::Time::seconds(50.0 * scale);
+    sc.duration = sim::Time::seconds(3000.0 * scale);
+    return run_scenario_workload("bbr_dumbbell", std::move(sc));
+  }));
   results.push_back(run_sweep16(scale, jobs));
 
   const std::string out = flags.get("out", "-");

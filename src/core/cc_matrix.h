@@ -26,7 +26,8 @@ struct CcMatrixParams {
   std::vector<tcp::CcAlgorithm> algos = {
       tcp::CcAlgorithm::kTahoe,  tcp::CcAlgorithm::kReno,
       tcp::CcAlgorithm::kNewReno, tcp::CcAlgorithm::kCubic,
-      tcp::CcAlgorithm::kVegas,  tcp::CcAlgorithm::kFixedWindow};
+      tcp::CcAlgorithm::kVegas,  tcp::CcAlgorithm::kBbr,
+      tcp::CcAlgorithm::kFixedWindow};
   double tau_sec = 0.01;
   std::size_t buffer = 20;
   std::size_t flows_per_algo = 1;   // flows of each algorithm per cell

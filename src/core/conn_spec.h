@@ -41,6 +41,7 @@ struct ConnSpec {
   tcp::NewRenoParams newreno;  // only for kNewReno
   tcp::CubicParams cubic;      // only for kCubic
   tcp::VegasParams vegas;      // only for kVegas
+  tcp::BbrParams bbr;          // only for kBbr
 
   // --- flow schedule (TrafficMatrix only) ------------------------------
   // The spec expands to `count` flows; flow j starts at start_time plus a
@@ -68,6 +69,7 @@ struct ConnSpec {
     cfg.newreno = newreno;
     cfg.cubic = cubic;
     cfg.vegas = vegas;
+    cfg.bbr = bbr;
     return cfg;
   }
 };

@@ -51,17 +51,22 @@ TopoSpec chaos_spec(const ChaosParams& p) {
   spec.topo = std::move(t);
 
   const sim::Time spread = sim::Time::seconds(p.start_spread_sec);
+  const auto kind_of = [&p](std::size_t conn) {
+    return p.cc.empty() ? tcp::CcAlgorithm::kTahoe : p.cc[conn % p.cc.size()];
+  };
   for (std::size_t i = 0; i < p.flows; ++i) {
     const std::string n = std::to_string(i + 1);
     ConnSpec fwd;
     fwd.src = "A" + n;
     fwd.dst = "B" + n;
+    fwd.kind = kind_of(2 * i);
     fwd.start_spread = spread;
     fwd.seed = util::mix_seed(p.seed, 2 * i);
     spec.traffic.add(std::move(fwd));
     ConnSpec rev;
     rev.src = "B" + n;
     rev.dst = "A" + n;
+    rev.kind = kind_of(2 * i + 1);
     rev.start_spread = spread;
     rev.seed = util::mix_seed(p.seed, 2 * i + 1);
     spec.traffic.add(std::move(rev));

@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/scenarios.h"
 #include "core/topology.h"
+#include "tcp/congestion_control.h"
 
 namespace tcpdyn::core {
 
@@ -38,6 +40,9 @@ struct ChaosParams {
   double flap_period_sec = 60.0;    // gap between flap starts
   std::size_t flaps = 3;            // first flap at warmup + period
   bool discard_on_down = false;     // kDiscard instead of kDrain
+  // Congestion controllers cycled across connections in add order
+  // (fwd1, rev1, fwd2, rev2, ...); empty means all-Tahoe.
+  std::vector<tcp::CcAlgorithm> cc;
   std::uint64_t seed = 42;
   double start_spread_sec = 5.0;
   double warmup_sec = 100.0;

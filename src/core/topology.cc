@@ -329,7 +329,7 @@ TopoSpec parse_topology(std::istream& in) {
         if (key == "count") {
           c.count = static_cast<std::size_t>(to_int(val, lineno, key));
         } else if (key == "kind") {
-          // The full CcAlgorithm zoo: tahoe|reno|newreno|cubic|vegas|fixed.
+          // Full CcAlgorithm zoo: tahoe|reno|newreno|cubic|vegas|bbr|fixed.
           const auto algo = tcp::parse_cc(val);
           if (!algo) {
             parse_error(lineno, "unknown sender kind '" + val + "'");

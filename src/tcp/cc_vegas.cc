@@ -3,7 +3,7 @@
 namespace tcpdyn::tcp {
 
 void VegasCc::on_sent(sim::Time /*now*/, std::uint32_t seq,
-                      bool /*retransmit*/) {
+                      std::uint32_t /*size_bytes*/, bool /*retransmit*/) {
   if (seq + 1 > highest_sent_) highest_sent_ = seq + 1;
 }
 
@@ -81,6 +81,13 @@ void VegasCc::on_dup_ack_loss(sim::Time now) {
   ssthresh_ = halved_ssthresh(cwnd_);
   const double reduced = capped(cwnd_ * 3.0 / 4.0);
   cwnd_ = reduced > 2.0 ? reduced : 2.0;
+  // The epoch's RTT samples predate the loss (queue-inflated, and the
+  // retransmission muddies what the next boundary would measure); restart
+  // the epoch exactly as the timeout path does so the first post-recovery
+  // adjustment only sees post-recovery samples.
+  beg_snd_nxt_ = highest_sent_;
+  have_epoch_min_ = false;
+  epoch_samples_ = 0;
   notify(now, CcEvent::kFastRetransmit);
 }
 

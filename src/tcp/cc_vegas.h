@@ -50,7 +50,8 @@ class VegasCc final : public CongestionControl {
   std::uint64_t last_diff() const { return last_diff_; }
 
   void on_ack(const AckContext& ctx) override;
-  void on_sent(sim::Time now, std::uint32_t seq, bool retransmit) override;
+  void on_sent(sim::Time now, std::uint32_t seq, std::uint32_t size_bytes,
+               bool retransmit) override;
   void on_dup_ack_loss(sim::Time now) override;
   void on_timeout(sim::Time now) override;
 

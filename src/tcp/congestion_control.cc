@@ -1,5 +1,6 @@
 #include "tcp/congestion_control.h"
 
+#include "tcp/cc_bbr.h"
 #include "tcp/cc_cubic.h"
 #include "tcp/cc_newreno.h"
 #include "tcp/cc_vegas.h"
@@ -17,6 +18,7 @@ const char* to_string(CcAlgorithm algo) {
     case CcAlgorithm::kNewReno: return "newreno";
     case CcAlgorithm::kCubic: return "cubic";
     case CcAlgorithm::kVegas: return "vegas";
+    case CcAlgorithm::kBbr: return "bbr";
     case CcAlgorithm::kFixedWindow: return "fixed";
   }
   return "?";
@@ -28,6 +30,7 @@ std::optional<CcAlgorithm> parse_cc(const std::string& name) {
   if (name == "newreno") return CcAlgorithm::kNewReno;
   if (name == "cubic") return CcAlgorithm::kCubic;
   if (name == "vegas") return CcAlgorithm::kVegas;
+  if (name == "bbr") return CcAlgorithm::kBbr;
   if (name == "fixed") return CcAlgorithm::kFixedWindow;
   return std::nullopt;
 }
@@ -60,6 +63,8 @@ std::unique_ptr<CongestionControl> make_congestion_control(
       return std::make_unique<CubicCc>(config.cubic);
     case CcAlgorithm::kVegas:
       return std::make_unique<VegasCc>(config.vegas);
+    case CcAlgorithm::kBbr:
+      return std::make_unique<BbrCc>(config.bbr);
     case CcAlgorithm::kFixedWindow:
       return std::make_unique<FixedWindowCc>(config.fixed_window);
   }

@@ -49,6 +49,7 @@ enum class CcAlgorithm : std::uint8_t {
   kNewReno,  // + SACK-based loss recovery
   kCubic,
   kVegas,
+  kBbr,      // model-based: paces from a bandwidth×RTT estimate
   kFixedWindow,
 };
 
@@ -57,7 +58,8 @@ enum class CcAlgorithm : std::uint8_t {
 using SenderKind = CcAlgorithm;
 
 const char* to_string(CcAlgorithm algo);
-// Parses "tahoe|reno|newreno|cubic|vegas|fixed"; nullopt for anything else.
+// Parses "tahoe|reno|newreno|cubic|vegas|bbr|fixed"; nullopt for anything
+// else.
 std::optional<CcAlgorithm> parse_cc(const std::string& name);
 
 // Why a window change fired, for the trace layer's per-algorithm
@@ -85,6 +87,14 @@ struct AckContext {
   std::uint32_t acked_to = 0;     // the new snd_una
   bool rtt_valid = false;         // an RTT measurement was accepted
   sim::Time rtt;                  // the accepted sample (Karn-filtered)
+  // Cumulative delivery accounting, for model/rate-based controllers. With
+  // the study's infinite stream and go-back-N retransmission the cumulative
+  // ACK *is* the delivery count, so `delivered` equals the new snd_una and
+  // `delivered_bytes` its data-byte equivalent; `inflight` is what remains
+  // outstanding after this ACK was applied.
+  std::uint64_t delivered = 0;        // total data packets delivered so far
+  std::uint64_t delivered_bytes = 0;  // total data bytes delivered so far
+  std::uint32_t inflight = 0;         // packets outstanding after this ACK
   // SACK-recovery state, maintained by the transport for controllers with
   // wants_sack(). Both false for plain controllers.
   bool in_recovery = false;       // recovery was active when the ACK arrived
@@ -122,7 +132,7 @@ class CongestionControl {
   virtual void on_dup_ack_loss(sim::Time now) = 0;
   virtual void on_timeout(sim::Time now) = 0;
   virtual void on_sent(sim::Time /*now*/, std::uint32_t /*seq*/,
-                       bool /*retransmit*/) {}
+                       std::uint32_t /*size_bytes*/, bool /*retransmit*/) {}
 
   // CC-imposed minimum spacing between data packets; zero means the
   // algorithm is purely ACK-clocked. The transport honors
@@ -218,6 +228,20 @@ struct VegasParams {
   std::uint32_t gamma = 1;   // slow-start exit threshold
 };
 
+struct BbrParams {
+  std::uint32_t initial_cwnd = 4;
+  std::uint32_t min_cwnd = 4;           // ProbeRTT / post-timeout floor
+  // Windowed-max bandwidth filter length, in packet-timed rounds (~RTTs).
+  std::uint32_t bw_window_rounds = 10;
+  // Startup exits when the bandwidth estimate fails to grow by >= 25% for
+  // this many consecutive rounds (the full-pipe plateau test).
+  std::uint32_t startup_full_bw_rounds = 3;
+  // Windowed-min RTT filter length and the ProbeRTT dwell once inflight has
+  // drained to min_cwnd.
+  sim::Time min_rtt_window = sim::Time::seconds(10.0);
+  sim::Time probe_rtt_duration = sim::Time::milliseconds(200);
+};
+
 // Factory: builds the controller for `algo`. fixed_window is only read for
 // kFixedWindow.
 struct CcConfig {
@@ -228,6 +252,7 @@ struct CcConfig {
   NewRenoParams newreno;
   CubicParams cubic;
   VegasParams vegas;
+  BbrParams bbr;
 };
 
 std::unique_ptr<CongestionControl> make_congestion_control(

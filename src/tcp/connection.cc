@@ -25,6 +25,7 @@ Connection::Connection(net::Network& network, ConnectionConfig config)
   cc.newreno = config.newreno;
   cc.cubic = config.cubic;
   cc.vegas = config.vegas;
+  cc.bbr = config.bbr;
   sender_ = std::make_unique<WindowSender>(network.sim(), src, sp,
                                            make_congestion_control(cc));
 
@@ -72,6 +73,12 @@ CubicCc* Connection::cubic() {
 VegasCc* Connection::vegas() {
   return config_.kind == SenderKind::kVegas
              ? static_cast<VegasCc*>(&sender_->cc())
+             : nullptr;
+}
+
+BbrCc* Connection::bbr() {
+  return config_.kind == SenderKind::kBbr
+             ? static_cast<BbrCc*>(&sender_->cc())
              : nullptr;
 }
 

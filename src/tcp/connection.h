@@ -3,13 +3,15 @@
 // infinite amount of data to send (no SYN/FIN exchange is simulated).
 //
 // The congestion-control algorithm is a ConnectionConfig field (the
-// CcAlgorithm zoo: tahoe|reno|newreno|cubic|vegas|fixed); mixed-algorithm
-// experiments just add connections with different kinds to one Experiment.
+// CcAlgorithm zoo: tahoe|reno|newreno|cubic|vegas|bbr|fixed);
+// mixed-algorithm experiments just add connections with different kinds to
+// one Experiment.
 #pragma once
 
 #include <memory>
 
 #include "net/network.h"
+#include "tcp/cc_bbr.h"
 #include "tcp/cc_cubic.h"
 #include "tcp/cc_newreno.h"
 #include "tcp/cc_vegas.h"
@@ -40,6 +42,7 @@ struct ConnectionConfig {
   NewRenoParams newreno;
   CubicParams cubic;
   VegasParams vegas;
+  BbrParams bbr;
   RttParams rtt;
 };
 
@@ -66,6 +69,7 @@ class Connection {
   NewRenoCc* newreno();
   CubicCc* cubic();
   VegasCc* vegas();
+  BbrCc* bbr();
   FixedWindowCc* fixed();
 
  private:

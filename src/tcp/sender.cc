@@ -65,6 +65,12 @@ void WindowSender::deliver(const net::Packet& ack) {
       if (on_rtt_sample) on_rtt_sample(sim_.now(), rtt);
     }
     if (snd_nxt_ < snd_una_) snd_nxt_ = snd_una_;
+    // Delivery accounting for model-based controllers: with an infinite
+    // stream and go-back-N, the cumulative ACK is the delivery count.
+    ctx.delivered = snd_una_;
+    ctx.delivered_bytes =
+        static_cast<std::uint64_t>(snd_una_) * params_.data_bytes;
+    ctx.inflight = outstanding();
     // Restart the retransmission timer for the remaining outstanding data.
     rto_timer_.cancel();
     if (outstanding() > 0) arm_rto();
@@ -134,7 +140,16 @@ void WindowSender::send_available() {
 }
 
 void WindowSender::schedule_paced_send() {
-  if (pacing_timer_.pending()) return;
+  // A pending timer is only good if it was armed for the CURRENT slot.
+  // ACK-clocked sends (and controllers whose pacing_interval changes
+  // mid-flight, e.g. BBR's gain cycling) advance next_pacing_slot_ while a
+  // timer armed for the old slot is still outstanding; keeping it would
+  // leave a stale no-op wakeup firing every interval. Re-arm instead.
+  if (pacing_timer_.pending() && pacing_deadline_ == next_pacing_slot_) {
+    return;
+  }
+  pacing_timer_.cancel();
+  pacing_deadline_ = next_pacing_slot_;
   pacing_timer_ = sim_.schedule_at(next_pacing_slot_, [this] {
     send_available();
   });
@@ -164,7 +179,7 @@ void WindowSender::send_packet(std::uint32_t seq) {
     timed_at_ = sim_.now();
   }
   if (!rto_timer_.pending()) arm_rto();
-  cc_->on_sent(sim_.now(), seq, pkt.retransmit);
+  cc_->on_sent(sim_.now(), seq, pkt.size_bytes, pkt.retransmit);
   if (on_send) on_send(sim_.now(), pkt);
   host_.send(std::move(pkt));
 }

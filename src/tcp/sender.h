@@ -145,8 +145,11 @@ class WindowSender : public net::PacketSink {
   sim::Time timed_at_;
 
   sim::EventHandle rto_timer_;
-  // Pacing state: earliest time the next data packet may leave.
+  // Pacing state: earliest time the next data packet may leave, and the
+  // deadline the pacing timer is currently armed for (so a pending timer
+  // whose slot has moved on is re-armed rather than left firing stale).
   sim::Time next_pacing_slot_;
+  sim::Time pacing_deadline_;
   sim::EventHandle pacing_timer_;
 };
 

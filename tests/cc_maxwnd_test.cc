@@ -17,8 +17,9 @@ namespace {
 constexpr std::uint32_t kMaxwnd = 8;
 
 std::vector<CcAlgorithm> all_algorithms() {
-  return {CcAlgorithm::kTahoe, CcAlgorithm::kReno,  CcAlgorithm::kNewReno,
-          CcAlgorithm::kCubic, CcAlgorithm::kVegas, CcAlgorithm::kFixedWindow};
+  return {CcAlgorithm::kTahoe, CcAlgorithm::kReno, CcAlgorithm::kNewReno,
+          CcAlgorithm::kCubic, CcAlgorithm::kVegas, CcAlgorithm::kBbr,
+          CcAlgorithm::kFixedWindow};
 }
 
 std::unique_ptr<CongestionControl> make(CcAlgorithm algo) {
@@ -34,14 +35,18 @@ AckContext growth_ack(double t, std::uint32_t seq) {
   ctx.newly_acked = 1;
   ctx.acked_to = seq;
   ctx.rtt_valid = true;
-  ctx.rtt = sim::Time::milliseconds(100.0);
+  ctx.rtt = sim::Time::milliseconds(100);
+  // Delivery accounting so model-based controllers (BBR) grow too.
+  ctx.delivered = seq;
+  ctx.delivered_bytes = static_cast<std::uint64_t>(seq) * 500u;
+  ctx.inflight = 4;
   return ctx;
 }
 
 void drive_growth(CongestionControl& cc, double t0, std::uint32_t* seq,
                   int acks) {
   for (int i = 0; i < acks; ++i) {
-    cc.on_sent(sim::Time::seconds(t0 + 0.001 * i), *seq + 4, false);
+    cc.on_sent(sim::Time::seconds(t0 + 0.001 * i), *seq + 4, 500, false);
     cc.on_ack(growth_ack(t0 + 0.001 * i, ++*seq));
   }
 }
@@ -103,7 +108,7 @@ TEST(CcMaxwnd, FactoryProducesEveryAlgorithm) {
     ASSERT_TRUE(parsed.has_value()) << to_string(algo);
     EXPECT_EQ(*parsed, algo);
   }
-  EXPECT_FALSE(parse_cc("bbr").has_value());
+  EXPECT_FALSE(parse_cc("bbr2").has_value());
   EXPECT_FALSE(parse_cc("").has_value());
 }
 

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "net/network.h"
@@ -352,6 +355,181 @@ TEST_F(SenderTest, NonpacedSendsBackToBack) {
   sim_.run_until(sim::Time::zero());
   ASSERT_EQ(times.size(), 4u);
   EXPECT_EQ(times.front(), times.back());  // same instant
+}
+
+// --- the pacing seam: CC-imposed pacing vs params pacing -----------------
+
+// Minimal controller exposing a controllable pacing_interval() through the
+// CC side of the seam. With alternate() armed, the interval flips between
+// two values on every ACK of new data — the shape of BBR's gain cycling.
+class StubPacedCc final : public CongestionControl {
+ public:
+  StubPacedCc(std::uint32_t window, sim::Time interval)
+      : window_(window), interval_(interval) {}
+
+  const char* name() const override { return "stub-paced"; }
+  CcAlgorithm algorithm() const override { return CcAlgorithm::kFixedWindow; }
+  bool adaptive() const override { return false; }
+  double cwnd() const override { return static_cast<double>(window_); }
+  std::uint32_t usable_window() const override { return capped_u32(window_); }
+  sim::Time pacing_interval() const override { return interval_; }
+
+  void alternate(sim::Time other) { other_ = other; }
+
+  void on_ack(const AckContext&) override {
+    if (other_ > sim::Time::zero()) std::swap(interval_, other_);
+  }
+  void on_dup_ack_loss(sim::Time) override {}
+  void on_timeout(sim::Time) override {}
+
+ private:
+  std::uint32_t window_;
+  sim::Time interval_;
+  sim::Time other_;
+};
+
+TEST_F(SenderTest, EffectivePacingUsesControllerIntervalWhenLarger) {
+  SenderParams p = params();
+  p.pacing_interval = sim::Time::milliseconds(30);
+  WindowSender s(sim_, net_.host(h1_), p,
+                 std::make_unique<StubPacedCc>(4, sim::Time::milliseconds(90)));
+  std::vector<sim::Time> times;
+  s.on_send = [&](sim::Time t, const net::Packet&) { times.push_back(t); };
+  s.start(sim::Time::zero());
+  sim_.run_until(sim::Time::seconds(1.0));
+  ASSERT_EQ(times.size(), 4u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_EQ(times[i] - times[i - 1], sim::Time::milliseconds(90));
+  }
+}
+
+TEST_F(SenderTest, EffectivePacingUsesParamsIntervalWhenLarger) {
+  SenderParams p = params();
+  p.pacing_interval = sim::Time::milliseconds(80);
+  WindowSender s(sim_, net_.host(h1_), p,
+                 std::make_unique<StubPacedCc>(4, sim::Time::milliseconds(30)));
+  std::vector<sim::Time> times;
+  s.on_send = [&](sim::Time t, const net::Packet&) { times.push_back(t); };
+  s.start(sim::Time::zero());
+  sim_.run_until(sim::Time::seconds(1.0));
+  ASSERT_EQ(times.size(), 4u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_EQ(times[i] - times[i - 1], sim::Time::milliseconds(80));
+  }
+}
+
+TEST_F(SenderTest, PacedStartReAnchorsPacingSlot) {
+  // A sender starting late must anchor its pacing schedule at the start
+  // time, not at the epoch the slot variable was default-initialized to:
+  // first packet leaves AT start, the rest on the pacing grid after it.
+  SenderParams p = params();
+  p.pacing_interval = sim::Time::milliseconds(80);
+  FixedWindowSender s(sim_, net_.host(h1_), p, 3);
+  std::vector<sim::Time> times;
+  s.on_send = [&](sim::Time t, const net::Packet&) { times.push_back(t); };
+  s.start(sim::Time::milliseconds(500));
+  sim_.run_until(sim::Time::seconds(1.0));
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_EQ(times[0], sim::Time::milliseconds(500));
+  EXPECT_EQ(times[1], sim::Time::milliseconds(580));
+  EXPECT_EQ(times[2], sim::Time::milliseconds(660));
+}
+
+// One run of a sender whose controller flips its pacing_interval between
+// 30 ms and 90 ms on every ACK, fed a fixed ACK script. Returns every
+// transmission as (time-ns, seq).
+std::vector<std::pair<std::int64_t, std::uint32_t>> varying_pacing_run() {
+  sim::Simulator sim;
+  net::Network net(sim, sim::Time::zero());
+  const auto h1 = net.add_host("A");
+  const auto h2 = net.add_host("B");
+  net.connect(h1, h2, 1'000'000'000, sim::Time::zero(),
+              net::QueueLimit::infinite(), net::QueueLimit::infinite());
+  net.compute_routes();
+  NullSink sink;
+  net.host(h2).register_endpoint(0, net::PacketKind::kData, &sink);
+  SenderParams p;
+  p.conn = 0;
+  p.self = h1;
+  p.peer = h2;
+  auto cc = std::make_unique<StubPacedCc>(3, sim::Time::milliseconds(30));
+  cc->alternate(sim::Time::milliseconds(90));
+  WindowSender s(sim, net.host(h1), p, std::move(cc));
+  std::vector<std::pair<std::int64_t, std::uint32_t>> sent;
+  s.on_send = [&](sim::Time t, const net::Packet& pkt) {
+    sent.emplace_back(t.ns(), pkt.seq);
+  };
+  for (std::uint32_t k = 1; k <= 5; ++k) {
+    sim.schedule(sim::Time::milliseconds(200) * k, [&s, k] {
+      net::Packet a;
+      a.conn = 0;
+      a.kind = net::PacketKind::kAck;
+      a.ack = k;
+      a.size_bytes = 50;
+      s.deliver(a);
+    });
+  }
+  s.start(sim::Time::zero());
+  sim.run_until(sim::Time::seconds(2.0));
+  return sent;
+}
+
+TEST_F(SenderTest, VaryingCcPacingIsDeterministicAcrossRuns) {
+  const auto first = varying_pacing_run();
+  const auto second = varying_pacing_run();
+  ASSERT_GT(first.size(), 5u);  // the paced-timer path actually ran
+  EXPECT_EQ(first, second);     // byte-identical transmission schedule
+}
+
+// One run of a paced (or nonpaced) fixed-window sender fed n ACK cycles at
+// exactly the pacing interval, returning the number of scheduler events
+// executed.
+std::uint64_t pacing_cycles_events(int n, bool paced) {
+  sim::Simulator sim;
+  net::Network net(sim, sim::Time::zero());
+  const auto h1 = net.add_host("A");
+  const auto h2 = net.add_host("B");
+  net.connect(h1, h2, 1'000'000'000, sim::Time::zero(),
+              net::QueueLimit::infinite(), net::QueueLimit::infinite());
+  net.compute_routes();
+  NullSink sink;
+  net.host(h2).register_endpoint(0, net::PacketKind::kData, &sink);
+  SenderParams p;
+  p.conn = 0;
+  p.self = h1;
+  p.peer = h2;
+  if (paced) p.pacing_interval = sim::Time::milliseconds(100);
+  FixedWindowSender s(sim, net.host(h1), p, 2);
+  for (int k = 1; k <= n; ++k) {
+    sim.schedule(sim::Time::milliseconds(100) * k, [&s, k] {
+      net::Packet a;
+      a.conn = 0;
+      a.kind = net::PacketKind::kAck;
+      a.ack = static_cast<std::uint32_t>(k);
+      a.size_bytes = 50;
+      s.deliver(a);
+    });
+  }
+  s.start(sim::Time::zero());
+  sim.run_until(sim::Time::milliseconds(100) * n + sim::Time::milliseconds(50));
+  return sim.events_executed();
+}
+
+TEST_F(SenderTest, StalePacingTimerIsReArmedNotLeftFiring) {
+  // Each ACK lands exactly on the pacing slot and is processed first (FIFO:
+  // it was scheduled before the timer), so the ACK-clocked send advances
+  // next_pacing_slot_ while a timer armed for the old slot is pending. The
+  // fixed schedule_paced_send re-arms that timer; the old code kept it and
+  // it fired as a stale no-op wakeup — one extra event per cycle. Event
+  // parity between paced and nonpaced runs proves no stale wakeups remain.
+  // Per-cycle deltas (30 vs 10 cycles) cancel start-up and tail effects;
+  // both runs execute the same ACK + packet-transit events per cycle, so
+  // any difference is exactly the stale wakeups.
+  const std::uint64_t paced_delta =
+      pacing_cycles_events(30, true) - pacing_cycles_events(10, true);
+  const std::uint64_t plain_delta =
+      pacing_cycles_events(30, false) - pacing_cycles_events(10, false);
+  EXPECT_EQ(paced_delta, plain_delta);
 }
 
 // Property sweep: slow start reaches cwnd ~ 2^k after k epochs of full ACKs,

@@ -15,7 +15,7 @@ void run_epoch(VegasCc& cc, double t, std::uint32_t* next_seq,
                double rtt_ms) {
   const auto w = static_cast<std::uint32_t>(cc.cwnd());
   for (std::uint32_t i = 0; i < w; ++i) {
-    cc.on_sent(sim::Time::seconds(t), (*next_seq)++, false);
+    cc.on_sent(sim::Time::seconds(t), (*next_seq)++, 500, false);
   }
   AckContext ctx;
   ctx.now = sim::Time::seconds(t);
@@ -79,7 +79,7 @@ TEST(VegasCc, SlowStartExitsThroughGammaAndDeflates) {
   EXPECT_DOUBLE_EQ(cc.cwnd(), 3.0);
   // Between boundaries, slow start grows +1 per ACK. (acked_to stays below
   // the boundary sequence; the bloated RTT feeds the epoch minimum.)
-  cc.on_sent(sim::Time::seconds(0.4), seq + 5, false);
+  cc.on_sent(sim::Time::seconds(0.4), seq + 5, 500, false);
   AckContext mid;
   mid.now = sim::Time::seconds(0.5);
   mid.newly_acked = 1;
@@ -108,6 +108,56 @@ TEST(VegasCc, LossReactions) {
   EXPECT_DOUBLE_EQ(cc.cwnd(), 2.0);
   EXPECT_EQ(cc.ssthresh(), 6u);
   EXPECT_GE(cc.usable_window(), 1u);
+}
+
+TEST(VegasCc, DupAckLossRestartsEpoch) {
+  VegasCc cc(avoidance_params(10.0));
+  cc.bind(nullptr, CcEnv{});
+  std::uint32_t seq = 0;
+  run_epoch(cc, 0.0, &seq, 100.0);  // base 100 ms; cwnd 11, boundary at 10
+  ASSERT_DOUBLE_EQ(cc.cwnd(), 11.0);
+  // The next epoch's window goes out (seqs 10..20)...
+  for (int i = 0; i < 11; ++i) {
+    cc.on_sent(sim::Time::seconds(1.0), seq++, 500, false);
+  }
+  // ...and a queue-inflated mid-epoch sample arrives (below the boundary,
+  // so no adjustment happens yet — it only feeds the epoch minimum).
+  AckContext mid;
+  mid.now = sim::Time::seconds(1.1);
+  mid.newly_acked = 1;
+  mid.acked_to = 9;
+  mid.rtt_valid = true;
+  mid.rtt = sim::Time::milliseconds(300);
+  cc.on_ack(mid);
+  ASSERT_DOUBLE_EQ(cc.cwnd(), 11.0);
+  // Fast retransmit: 3/4 reduction AND an epoch restart, exactly like the
+  // timeout path — the pre-loss samples are queue-inflated and must not
+  // feed the first post-recovery adjustment.
+  cc.on_dup_ack_loss(sim::Time::seconds(1.2));
+  ASSERT_DOUBLE_EQ(cc.cwnd(), 8.25);
+  EXPECT_EQ(cc.ssthresh(), 5u);
+  // An ACK crossing the OLD boundary (10) but not the restarted one (21)
+  // must NOT adjust; before the fix the stale boundary made epoch_adjust
+  // run here (clean 100 ms sample, diff 0 < alpha) and grow the window.
+  AckContext old_epoch;
+  old_epoch.now = sim::Time::seconds(1.3);
+  old_epoch.newly_acked = 2;
+  old_epoch.acked_to = 11;
+  old_epoch.rtt_valid = true;
+  old_epoch.rtt = sim::Time::milliseconds(100);
+  cc.on_ack(old_epoch);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 8.25);  // stale-epoch code gave 9.25
+  // The ACK covering the restarted boundary (21) adjusts exactly once,
+  // from post-recovery samples only: diff 0 < alpha -> +1.
+  AckContext fresh;
+  fresh.now = sim::Time::seconds(1.4);
+  fresh.newly_acked = 10;
+  fresh.acked_to = 21;
+  fresh.rtt_valid = true;
+  fresh.rtt = sim::Time::milliseconds(100);
+  cc.on_ack(fresh);
+  EXPECT_EQ(cc.last_diff(), 0u);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 9.25);
 }
 
 TEST(VegasCc, BaseRttTracksTheMinimum) {

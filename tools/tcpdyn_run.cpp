@@ -48,7 +48,7 @@ void declare_flags(util::Flags& flags) {
       .flag("sender", "tahoe|reno", "adaptive sender kind", "tahoe")
       .flag("cc", "LIST",
             "comma-separated congestion controllers "
-            "(tahoe|reno|newreno|cubic|vegas|fixed); oneway/twoway cycle "
+            "(tahoe|reno|newreno|cubic|vegas|bbr|fixed); oneway/twoway cycle "
             "flows through the list, cc-matrix uses it as the algorithm set",
             "")
       .flag("delayed-ack", "receiver delayed-ACK option", false)
@@ -87,7 +87,7 @@ std::vector<tcp::CcAlgorithm> parse_cc_list(const std::string& list) {
       if (!algo) {
         throw std::invalid_argument("unknown congestion controller '" + name +
                                     "' (tahoe|reno|newreno|cubic|vegas|"
-                                    "fixed)");
+                                    "bbr|fixed)");
       }
       out.push_back(*algo);
     }
@@ -200,6 +200,7 @@ core::Scenario build(const std::string& which, const util::Flags& flags) {
     p.flap_period_sec = flags.get_double("flap-period");
     p.flaps = size("flaps");
     p.discard_on_down = flags.get_bool("discard-on-down");
+    p.cc = parse_cc_list(flags.get("cc"));
     // Flap times are anchored to the warmup boundary, so the overrides must
     // reach the params (the post-build scenario override alone would leave
     // the flaps scheduled past the end of a shortened run).

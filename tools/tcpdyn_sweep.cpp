@@ -52,7 +52,7 @@ void declare_flags(util::Flags& flags) {
       .flag("conns", "N", "connection / flow count", "")
       .flag("cc", "LIST",
             "ccmix controller cycle, comma-separated "
-            "(tahoe|reno|newreno|cubic|vegas|fixed)",
+            "(tahoe|reno|newreno|cubic|vegas|bbr|fixed)",
             "tahoe,reno,newreno,cubic,vegas")
       .flag("w1", "PKTS", "fixed-window size, forward", "")
       .flag("w2", "PKTS", "fixed-window size, reverse", "")
