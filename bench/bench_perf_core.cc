@@ -387,6 +387,20 @@ int main(int argc, char** argv) {
     sc.duration = sim::Time::seconds(3000.0 * scale);
     return run_scenario_workload("bbr_dumbbell", std::move(sc));
   }));
+  results.push_back(best_of(reps, [&] {
+    // RED+ECN chain (the E21 configuration): the AQM path costs one EWMA
+    // update plus one RNG draw per in-band arrival, and marked packets ride
+    // the CE -> ECE -> on_ecn_echo loop instead of the loss path. Gated so
+    // the discipline dispatch and the mark machinery stay on the perf
+    // radar.
+    core::RedWaveParams p;
+    p.qdisc.kind = net::QdiscKind::kRed;
+    p.qdisc.red.ecn = true;
+    p.ecn = true;
+    p.warmup_sec = 50.0 * scale;
+    p.duration_sec = 1000.0 * scale;
+    return run_scenario_workload("red_wave", core::red_wave_scenario(p));
+  }));
   results.push_back(run_sweep16(scale, jobs));
 
   const std::string out = flags.get("out", "-");

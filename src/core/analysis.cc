@@ -278,6 +278,84 @@ FlowSummary summarize_flows(const ExperimentResult& result) {
   return fs;
 }
 
+WaveStats analyze_waves(std::span<const PortTrace> ports, double from,
+                        double to, double dt, double max_lag_sec) {
+  WaveStats w;
+  w.hops = ports.size();
+  if (ports.empty() || to <= from || dt <= 0.0) {
+    w.degenerate = true;
+    return w;
+  }
+  std::vector<std::vector<double>> series;
+  series.reserve(ports.size());
+  double amp_sum = 0.0, util_sum = 0.0;
+  for (const PortTrace& p : ports) {
+    series.push_back(util::detrend(p.queue.resample(from, to, dt)));
+    amp_sum += util::summarize(series.back()).stddev;
+    util_sum += p.utilization;
+  }
+  const double n_ports = static_cast<double>(ports.size());
+  w.mean_amplitude = amp_sum / n_ports;
+  w.mean_utilization = util_sum / n_ports;
+  if (ports.size() < 2) {
+    w.degenerate = true;
+    return w;
+  }
+  const auto max_lag = static_cast<std::size_t>(max_lag_sec / dt);
+
+  // Peak correlation per hop distance: adjacent pairs (d = 1) give the wave
+  // speed, the decay over d gives the correlation length.
+  std::vector<double> lag_sum(ports.size(), 0.0);
+  std::vector<double> rho_sum(ports.size(), 0.0);
+  std::vector<std::size_t> pair_count(ports.size(), 0);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    for (std::size_t j = i + 1; j < series.size(); ++j) {
+      const util::LaggedCorrelation c =
+          util::peak_cross_correlation(series[i], series[j], max_lag);
+      if (c.degenerate) continue;
+      const std::size_t d = j - i;
+      lag_sum[d] += static_cast<double>(c.lag) * dt;
+      rho_sum[d] += c.rho;
+      ++pair_count[d];
+    }
+  }
+  if (pair_count[1] == 0) {
+    w.degenerate = true;
+    return w;
+  }
+  w.mean_adjacent_lag_sec =
+      lag_sum[1] / static_cast<double>(pair_count[1]);
+  w.mean_adjacent_correlation =
+      rho_sum[1] / static_cast<double>(pair_count[1]);
+  if (w.mean_adjacent_lag_sec != 0.0) {
+    w.wave_speed_hops_per_sec = 1.0 / std::abs(w.mean_adjacent_lag_sec);
+  }
+
+  // Least-squares fit of ln c(d) = -d / xi + const over distances with a
+  // positive mean peak correlation.
+  std::vector<double> ds, log_cs;
+  for (std::size_t d = 1; d < pair_count.size(); ++d) {
+    if (pair_count[d] == 0) continue;
+    const double c = rho_sum[d] / static_cast<double>(pair_count[d]);
+    if (c <= 0.0) continue;
+    ds.push_back(static_cast<double>(d));
+    log_cs.push_back(std::log(c));
+  }
+  if (ds.size() >= 2) {
+    const double md = util::mean(ds);
+    const double mc = util::mean(log_cs);
+    double sxy = 0.0, sxx = 0.0;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      sxy += (ds[i] - md) * (log_cs[i] - mc);
+      sxx += (ds[i] - md) * (ds[i] - md);
+    }
+    if (sxx > 0.0 && sxy < 0.0) {
+      w.correlation_length_hops = -sxx / sxy;
+    }
+  }
+  return w;
+}
+
 double expected_drops_per_epoch(std::size_t tahoe_connections) {
   return static_cast<double>(tahoe_connections);
 }

@@ -198,6 +198,41 @@ double jain_fairness(std::span<const double> values);
 // Summarizes ExperimentResult::delivered over [result.t_start, result.t_end].
 FlowSummary summarize_flows(const ExperimentResult& result);
 
+// --------------------------------------------------------- congestion waves
+
+// Spatial structure of queue oscillations along a chain of monitored hops
+// (the E21 scenario): how fast a congestion wave propagates hop to hop, how
+// far queue-length correlations reach, and how violently each queue swings.
+// `ports` must be the chain's transmit ports in hop order.
+struct WaveStats {
+  std::size_t hops = 0;             // ports analyzed
+  // Mean peak-correlation lag between adjacent hops, in seconds. Positive
+  // means the downstream hop's oscillation trails the upstream one (the wave
+  // travels with the data); negative means backpressure travels upstream.
+  double mean_adjacent_lag_sec = 0.0;
+  // 1 / |mean_adjacent_lag_sec|: hops traversed per second; 0 when the mean
+  // lag is zero (in-phase chain) or undefined.
+  double wave_speed_hops_per_sec = 0.0;
+  // Mean peak cross-correlation between adjacent hops' detrended queues.
+  double mean_adjacent_correlation = 0.0;
+  // Exponential fit c(d) ~ exp(-d / xi) of peak correlation against hop
+  // distance d: the correlation length xi in hops. 0 when the fit is
+  // undefined (fewer than 2 usable distances or non-decaying correlation).
+  double correlation_length_hops = 0.0;
+  // Mean stddev of the detrended per-hop queue series, in packets — the
+  // oscillation amplitude the RED-vs-droptail comparison is about.
+  double mean_amplitude = 0.0;
+  double mean_utilization = 0.0;
+  // True when no adjacent pair produced a defined correlation (flat queues).
+  bool degenerate = false;
+};
+
+// Analyzes the monitored chain over [from, to] on a dt resampling grid,
+// searching lags up to `max_lag_sec` for each pair's correlation peak.
+WaveStats analyze_waves(std::span<const PortTrace> ports, double from,
+                        double to, double dt = 0.05,
+                        double max_lag_sec = 2.0);
+
 // ------------------------------------------------------------ acceleration
 
 // Total acceleration of a set of Tahoe connections in congestion avoidance

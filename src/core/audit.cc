@@ -51,6 +51,8 @@ void counters_check_into(net::Network& net, AuditTotals& totals,
     totals.drops_queue += c.drops - std::min(f.drops_down, c.drops);
     totals.drops_down += f.drops_down;
     totals.drops_fault += f.drops_wire;
+    totals.marks += c.marks;
+    totals.bytes_marked += c.bytes_marked;
     totals.in_queue += len;
     totals.bytes_in_queue += len_bytes;
   });
@@ -110,6 +112,10 @@ std::string AuditReport::to_string() const {
   if (totals.drops_down > 0 || totals.drops_fault > 0) {
     os << "; drop causes: queue " << totals.drops_queue << " + down "
        << totals.drops_down << " + fault " << totals.drops_fault;
+  }
+  if (totals.marks > 0) {
+    os << "; ecn marks " << totals.marks << " (" << totals.bytes_marked
+       << " bytes)";
   }
   for (const std::string& v : violations) os << "\n  VIOLATION: " << v;
   return os.str();
@@ -221,6 +227,18 @@ void Audit::on_dequeue(sim::Time t, const net::OutputPort& port,
   if (trace_ != nullptr) trace_->on_dequeue(t, port, pkt);
 }
 
+void Audit::on_mark(sim::Time t, const net::OutputPort& port,
+                    const net::Packet& pkt) {
+  // No ledger transition: the marked packet stays on its normal path (the
+  // matching on_enqueue arrives right after this event).
+  PortTally& tally = tallies_[&port];
+  ++tally.marks;
+  tally.bytes_marked += pkt.size_bytes;
+  ++totals_.marks;
+  totals_.bytes_marked += pkt.size_bytes;
+  if (trace_ != nullptr) trace_->on_mark(t, port, pkt);
+}
+
 void Audit::on_deliver(sim::Time t, const net::Packet& pkt) {
   transition(pkt.uid, State::kInFlight, State::kDelivered, "deliver");
   ++totals_.delivered;
@@ -297,6 +315,8 @@ AuditReport Audit::finalize(net::Network& net, sim::Time now) {
   check_total("bytes delivered", totals_.bytes_delivered,
               native.bytes_delivered);
   check_total("bytes dropped", totals_.bytes_dropped, native.bytes_dropped);
+  check_total("marks", totals_.marks, native.marks);
+  check_total("bytes marked", totals_.bytes_marked, native.bytes_marked);
 
   // 5. Per-port reconciliation in deterministic (port-map) order: observed
   // events vs native counters vs the live queue, and the busy-time
@@ -324,6 +344,8 @@ AuditReport Audit::finalize(net::Network& net, sim::Time now) {
     mismatch("drops", t.arrival_drops + t.victim_drops, c.drops);
     mismatch("dropped bytes", t.bytes_dropped, c.bytes_dropped);
     mismatch("down drops", t.down_drops, f.drops_down);
+    mismatch("marks", t.marks, c.marks);
+    mismatch("marked bytes", t.bytes_marked, c.bytes_marked);
     mismatch("wire drops", t.wire_drops, f.drops_wire);
     mismatch("wire-dropped bytes", t.bytes_wire_drops, f.bytes_drops_wire);
     const std::int64_t ledger_queued =

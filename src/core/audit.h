@@ -74,6 +74,11 @@ struct AuditTotals {
   std::uint64_t drops_queue = 0;
   std::uint64_t drops_down = 0;
   std::uint64_t drops_fault = 0;
+  // ECN CE marks applied by AQM disciplines. Marked packets are admitted and
+  // delivered normally, so marks sit outside the conservation law; they are
+  // tallied and reconciled against the native QueueCounters separately.
+  std::uint64_t marks = 0;
+  std::uint64_t bytes_marked = 0;
 };
 
 struct AuditReport {
@@ -108,6 +113,8 @@ class Audit : public net::PacketObserver {
                const net::Packet& pkt, net::DropCause cause) override;
   void on_dequeue(sim::Time t, const net::OutputPort& port,
                   const net::Packet& pkt) override;
+  void on_mark(sim::Time t, const net::OutputPort& port,
+               const net::Packet& pkt) override;
   void on_deliver(sim::Time t, const net::Packet& pkt) override;
 
   // Closes the ledger at time `now`: every uid must be in a terminal or
@@ -133,6 +140,8 @@ class Audit : public net::PacketObserver {
     std::uint64_t bytes_dropped = 0;  // queue-level drops only
     std::uint64_t bytes_victim_drops = 0;
     std::uint64_t bytes_wire_drops = 0;
+    std::uint64_t marks = 0;  // ECN CE marks (marked packets also enqueue)
+    std::uint64_t bytes_marked = 0;
     std::int64_t tx_ns = 0;  // serialization time of dequeued packets
   };
 

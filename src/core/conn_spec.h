@@ -30,6 +30,7 @@ struct ConnSpec {
   tcp::SenderKind kind = tcp::SenderKind::kTahoe;
   std::uint32_t fixed_window = 10;
   bool delayed_ack = false;
+  bool ecn = false;  // both endpoints negotiate ECT/ECE/CWR
   std::uint32_t maxwnd = 1000;
   std::uint32_t data_bytes = 500;
   std::uint32_t ack_bytes = 50;
@@ -61,6 +62,7 @@ struct ConnSpec {
     cfg.ack_bytes = ack_bytes;
     cfg.maxwnd = maxwnd;
     cfg.delayed_ack = delayed_ack;
+    cfg.ecn = ecn;
     cfg.pacing_interval = pacing_interval;
     cfg.start_time = start_time;
     cfg.stop_time = stop_time;

@@ -17,6 +17,7 @@ Topology dumbbell_topology(const DumbbellParams& p) {
   bottleneck.buffer_ab = p.buffer_fwd;
   bottleneck.buffer_ba = p.buffer_rev;
   bottleneck.policy = p.bottleneck_policy;
+  bottleneck.qdisc = p.bottleneck_qdisc;
   t.add_link(bottleneck);
   t.add_link(s2, h2, p.access_bps, p.access_delay, p.access_buffer);
   t.monitor(s1, s2);
@@ -48,6 +49,7 @@ MultiHostHandles build_multihost_dumbbell(
   bottleneck.buffer_ab = p.buffer_fwd;
   bottleneck.buffer_ba = p.buffer_rev;
   bottleneck.policy = p.bottleneck_policy;
+  bottleneck.qdisc = p.bottleneck_qdisc;
   t.add_link(bottleneck);
   std::vector<std::string> sources, sinks;
   for (std::size_t i = 0; i < access_delays.size(); ++i) {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/conn_spec.h"
@@ -26,6 +27,11 @@ struct DumbbellParams {
   // Discard discipline at the bottleneck (drop-tail in the paper; random
   // drop reproduces the gateway discipline of the studies it cites).
   net::DropPolicy bottleneck_policy = net::DropPolicy::kDropTail;
+  // Full discipline config (RED, DRR, ...): when set, both bottleneck
+  // directions run it (with buffer_fwd/buffer_rev as limits) and
+  // bottleneck_policy is ignored. Unset keeps the historic path byte for
+  // byte.
+  std::optional<net::QdiscConfig> bottleneck_qdisc;
 
   // Pipe size P = mu * tau / M in data packets (paper §2.2).
   double pipe_size(std::uint32_t data_bytes = 500) const {

@@ -85,6 +85,17 @@ void EventTrace::on_dequeue(sim::Time t, const net::OutputPort& port,
   write_line(buf);
 }
 
+void EventTrace::on_mark(sim::Time t, const net::OutputPort& port,
+                         const net::Packet& pkt) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"t\":%.9f,\"ev\":\"mark\",\"uid\":%llu,\"port\":\"%s\","
+                "\"conn\":%u,\"seq\":%u}",
+                t.sec(), static_cast<unsigned long long>(pkt.uid),
+                port.name().c_str(), pkt.conn, pkt.seq);
+  write_line(buf);
+}
+
 void EventTrace::on_deliver(sim::Time t, const net::Packet& pkt) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),

@@ -10,6 +10,8 @@
 //                wire-corrupt; victim: true when the packet had been
 //                admitted to the buffer before the drop)
 //   dequeue      packet finished serializing, left the buffer for the wire
+//   mark         packet ECN-marked (CE) by an AQM discipline instead of
+//                dropped; the matching enqueue line follows
 //   deliver      packet handed to its destination endpoint
 //   rto          retransmission timer expired at a sender
 //   cwnd-change  congestion window changed (ACK of new data, or loss)
@@ -45,6 +47,8 @@ class EventTrace : public net::PacketObserver {
                const net::Packet& pkt, net::DropCause cause) override;
   void on_dequeue(sim::Time t, const net::OutputPort& port,
                   const net::Packet& pkt) override;
+  void on_mark(sim::Time t, const net::OutputPort& port,
+               const net::Packet& pkt) override;
   void on_deliver(sim::Time t, const net::Packet& pkt) override;
 
   // Transport-level events, forwarded by Experiment from the sender hooks.

@@ -477,6 +477,10 @@ SweepRow summary_row(const SweepPoint& point, const ScenarioSummary& s) {
           static_cast<std::int64_t>(s.result.audit.drops_down));
   row.add("audit_drops_fault",
           static_cast<std::int64_t>(s.result.audit.drops_fault));
+  // ECN CE marks (AQM disciplines with ecn set). Outside the conservation
+  // law — marked packets deliver normally — but recorded so a sweep over an
+  // ECN grid can show the marking actually engaged.
+  row.add("audit_marks", static_cast<std::int64_t>(s.result.audit.marks));
   // Per-flow goodput distribution (packets/sec over the measurement window)
   // and Jain's fairness, for the many-flow Topology scenarios.
   row.add("flows", static_cast<std::int64_t>(s.flows.flows));

@@ -105,6 +105,71 @@ Scenario chaos_scenario(const ChaosParams& p) {
   return make_topo_scenario(chaos_spec(p));
 }
 
+// ------------------------------------------------------------- red wave
+
+TopoSpec red_wave_spec(const RedWaveParams& p) {
+  if (p.hops < 1) throw std::invalid_argument("red wave needs >= 1 hop");
+  if (p.flows == 0) throw std::invalid_argument("red wave needs >= 1 flow");
+  TopoSpec spec;
+  spec.name = "red-wave";
+  spec.seed = p.seed;
+  spec.warmup = sim::Time::seconds(p.warmup_sec);
+  spec.duration = sim::Time::seconds(p.duration_sec);
+
+  Topology t;
+  const std::size_t n = p.hops + 1;
+  std::vector<std::size_t> switches;
+  for (std::size_t i = 0; i < n; ++i) {
+    switches.push_back(t.add_switch("S" + std::to_string(i + 1)));
+  }
+  net::QdiscConfig trunk_qdisc = p.qdisc;
+  trunk_qdisc.limit = net::QueueLimit::of(p.buffer);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    t.add_link(switches[i], switches[i + 1], p.trunk_bps,
+               sim::Time::seconds(p.tau_sec), net::QueueLimit::of(p.buffer),
+               trunk_qdisc);
+  }
+  for (std::size_t i = 0; i < p.flows; ++i) {
+    const std::string suffix = std::to_string(i + 1);
+    const std::size_t a = t.add_host("A" + suffix);
+    const std::size_t b = t.add_host("B" + suffix);
+    t.add_link(a, switches.front(), p.access_bps,
+               sim::Time::microseconds(100));
+    t.add_link(b, switches.back(), p.access_bps, sim::Time::microseconds(100));
+  }
+  // Forward trunk hops in chain order: ports[h] is hop h for analyze_waves.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    t.monitor(switches[i], switches[i + 1]);
+  }
+  spec.topo = std::move(t);
+
+  const sim::Time spread = sim::Time::seconds(p.start_spread_sec);
+  for (std::size_t i = 0; i < p.flows; ++i) {
+    const std::string suffix = std::to_string(i + 1);
+    ConnSpec fwd;
+    fwd.src = "A" + suffix;
+    fwd.dst = "B" + suffix;
+    fwd.kind = p.cc;
+    fwd.ecn = p.ecn;
+    fwd.start_spread = spread;
+    fwd.seed = util::mix_seed(p.seed, 2 * i);
+    spec.traffic.add(std::move(fwd));
+    ConnSpec rev;
+    rev.src = "B" + suffix;
+    rev.dst = "A" + suffix;
+    rev.kind = p.cc;
+    rev.ecn = p.ecn;
+    rev.start_spread = spread;
+    rev.seed = util::mix_seed(p.seed, 2 * i + 1);
+    spec.traffic.add(std::move(rev));
+  }
+  return spec;
+}
+
+Scenario red_wave_scenario(const RedWaveParams& p) {
+  return make_topo_scenario(red_wave_spec(p));
+}
+
 // ----------------------------------------------------------------- ring
 
 Topology ring_topology(const RingParams& p) {

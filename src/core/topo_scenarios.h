@@ -54,6 +54,33 @@ struct ChaosParams {
 TopoSpec chaos_spec(const ChaosParams& params);
 Scenario chaos_scenario(const ChaosParams& params);
 
+// --- red wave (E21): qdisc zoo on a trunk chain ---------------------------
+// A chain of `hops` trunk links carrying two-way end-to-end traffic, every
+// trunk running the same queue discipline — the congestion-wave testbed for
+// RED vs drop-tail. Every forward trunk hop is monitored in chain order, so
+// ExperimentResult::ports feeds analyze_waves directly (wave speed,
+// correlation length, oscillation amplitude per hop).
+struct RedWaveParams {
+  std::size_t hops = 4;             // trunk links; switches = hops + 1
+  std::int64_t trunk_bps = 100'000;
+  double tau_sec = 0.005;           // per-hop propagation delay
+  std::size_t buffer = 20;          // trunk buffer (packets, each direction)
+  std::int64_t access_bps = 10'000'000;
+  std::size_t flows = 2;            // end-to-end flows per direction
+  // Discipline for every trunk direction; the limit field is overridden by
+  // `buffer`. Defaults to drop-tail — the RED runs set kind/red here.
+  net::QdiscConfig qdisc;
+  bool ecn = false;                 // flows negotiate ECT/ECE/CWR
+  tcp::CcAlgorithm cc = tcp::CcAlgorithm::kTahoe;
+  std::uint64_t seed = 21;
+  double start_spread_sec = 5.0;
+  double warmup_sec = 100.0;
+  double duration_sec = 400.0;
+};
+
+TopoSpec red_wave_spec(const RedWaveParams& params);
+Scenario red_wave_scenario(const RedWaveParams& params);
+
 // --- ring: N switches in a cycle, one host each --------------------------
 // The smallest topology with equal-cost path ties (an even-length ring has
 // two shortest paths to the antipodal node), pinning the smallest-node-id

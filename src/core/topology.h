@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,10 @@ struct LinkSpec {
   net::QueueLimit buffer_ab = net::QueueLimit::infinite();
   net::QueueLimit buffer_ba = net::QueueLimit::infinite();
   net::DropPolicy policy = net::DropPolicy::kDropTail;
+  // Full discipline zoo (RED, DRR, ...): when set, both directions get this
+  // config (each with its own buffer limit above) and `policy` is ignored.
+  // Unset keeps the historic drop-policy path, byte for byte.
+  std::optional<net::QdiscConfig> qdisc;
 };
 
 // The result of compiling a Topology: topology node index -> net::NodeId
@@ -68,6 +73,10 @@ class Topology {
                 sim::Time delay,
                 net::QueueLimit buffer = net::QueueLimit::infinite(),
                 net::DropPolicy policy = net::DropPolicy::kDropTail);
+  // Convenience: symmetric buffers with a full discipline config.
+  void add_link(std::size_t a, std::size_t b, std::int64_t bits_per_second,
+                sim::Time delay, net::QueueLimit buffer,
+                const net::QdiscConfig& qdisc);
 
   // Marks the transmit port a->b for monitoring; ExperimentResult ports are
   // ordered by monitor() call order. The link must exist.
@@ -156,12 +165,15 @@ struct TopoSpec {
 // Parses the text topology format (see examples/topos/*.topo):
 //   name NAME                  scenario name
 //   host NAME | switch NAME    node declarations
-//   link A B BPS DELAY_SEC BUF_AB BUF_BA [droptail|randomdrop]
-//                              BUF is packets or "inf"
+//   link A B BPS DELAY_SEC BUF_AB BUF_BA
+//        [droptail|randomdrop|red|red-ecn|drr]
+//        [min_th=N] [max_th=N] [wq_shift=N] [max_p=P] [quantum=BYTES]
+//                              BUF is packets or "inf"; the key=value
+//                              options tune RED (red/red-ecn) or DRR
 //   monitor A B                trace the A->B transmit port
 //   flow SRC DST [count=N] [kind=tahoe|reno|fixed] [window=W] [start=SEC]
 //        [spread=SEC] [stop=SEC] [seed=N] [maxwnd=W] [delayed_ack=0|1]
-//        [pacing=SEC] [data=BYTES] [ack=BYTES]
+//        [ecn=0|1] [pacing=SEC] [data=BYTES] [ack=BYTES]
 //   fault down|rate|delay|loss|gilbert|corrupt|reorder|seed ...
 //                              mid-run link events (see core/fault_plan.h)
 //   warmup SEC | duration SEC | epoch_gap SEC | seed N

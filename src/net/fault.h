@@ -27,6 +27,7 @@ namespace tcpdyn::net {
 enum class DropCause : std::uint8_t {
   kQueueTail,    // arrival rejected, buffer full (drop-tail)
   kQueueVictim,  // random-drop eviction of a queued occupant
+  kQueueEarly,   // AQM early drop (RED) before the buffer was full
   kDownArrival,  // arrival rejected: link down, discard policy
   kDownFlush,    // queued packet flushed when the link went down
   kWireLoss,     // lost on the wire by an impairment model
@@ -53,6 +54,7 @@ constexpr const char* drop_cause_name(DropCause c) {
   switch (c) {
     case DropCause::kQueueTail: return "queue-tail";
     case DropCause::kQueueVictim: return "queue-victim";
+    case DropCause::kQueueEarly: return "queue-early";
     case DropCause::kDownArrival: return "down-arrival";
     case DropCause::kDownFlush: return "down-flush";
     case DropCause::kWireLoss: return "wire-loss";

@@ -45,13 +45,25 @@ Switch& Network::switch_node(NodeId id) {
 void Network::connect(NodeId a, NodeId b, std::int64_t bits_per_second,
                       sim::Time propagation_delay, QueueLimit queue_a_to_b,
                       QueueLimit queue_b_to_a, DropPolicy policy) {
+  QdiscConfig qdisc;
+  qdisc.kind = policy == DropPolicy::kRandomDrop ? QdiscKind::kRandomDrop
+                                                 : QdiscKind::kDropTail;
+  connect(a, b, bits_per_second, propagation_delay, queue_a_to_b,
+          queue_b_to_a, qdisc);
+}
+
+void Network::connect(NodeId a, NodeId b, std::int64_t bits_per_second,
+                      sim::Time propagation_delay, QueueLimit queue_a_to_b,
+                      QueueLimit queue_b_to_a, const QdiscConfig& qdisc) {
   auto make_port = [&](NodeId from, NodeId to, QueueLimit limit) {
-    // Deterministic per-port seed so random-drop runs are reproducible.
+    // Deterministic per-port seed so random-drop and RED runs reproduce.
     const std::uint64_t seed =
         (static_cast<std::uint64_t>(from) << 32) | (to + 1);
+    QdiscConfig config = qdisc;
+    config.limit = limit;
     auto port = std::make_unique<OutputPort>(
         sim_, nodes_[from].node->name() + "->" + nodes_[to].node->name(),
-        bits_per_second, propagation_delay, limit, policy, seed);
+        bits_per_second, propagation_delay, config, seed);
     port->set_peer(nodes_[to].node.get());
     port->set_observer(observer_);
     OutputPort* raw = port.get();

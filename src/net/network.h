@@ -35,6 +35,14 @@ class Network {
                QueueLimit queue_b_to_a,
                DropPolicy policy = DropPolicy::kDropTail);
 
+  // General variant: both directions get the shared discipline config with
+  // per-direction buffer limits. The per-port RNG seed derivation is the
+  // same as the policy overload's, so droptail/randomdrop configs reproduce
+  // those runs byte for byte.
+  void connect(NodeId a, NodeId b, std::int64_t bits_per_second,
+               sim::Time propagation_delay, QueueLimit queue_a_to_b,
+               QueueLimit queue_b_to_a, const QdiscConfig& qdisc);
+
   // Shortest-path metric for compute_routes.
   //   kHops  — BFS hop count; ties broken by link insertion order (the
   //            historic builder behaviour).

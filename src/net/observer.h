@@ -51,6 +51,13 @@ class PacketObserver {
   virtual void on_dequeue(sim::Time t, const OutputPort& port,
                           const Packet& pkt) = 0;
 
+  // `pkt` was ECN-marked (CE set) by `port`'s discipline instead of being
+  // dropped, and admitted to the buffer; on_enqueue follows for the same
+  // packet. Non-pure: marks only exist once an AQM discipline is in play,
+  // so observers that predate them need no change.
+  virtual void on_mark(sim::Time /*t*/, const OutputPort& /*port*/,
+                       const Packet& /*pkt*/) {}
+
   // `pkt` reached its destination endpoint (after host processing).
   virtual void on_deliver(sim::Time t, const Packet& pkt) = 0;
 };

@@ -55,12 +55,22 @@ struct SackBlock {
 
 inline constexpr std::uint8_t kMaxSackBlocks = 2;
 
+// ECN codepoints and echo flags (RFC 3168, simplified to one byte). Data
+// packets from ECN-capable senders carry kEct; a RED gateway sets kCe
+// instead of dropping; the receiver echoes kEce on every ACK until the
+// sender acknowledges the reduction with kCwr on a data packet.
+inline constexpr std::uint8_t kEcnEct = 1;  // ECN-capable transport (data)
+inline constexpr std::uint8_t kEcnCe = 2;   // congestion experienced (marked)
+inline constexpr std::uint8_t kEcnEce = 4;  // ECN echo (ack)
+inline constexpr std::uint8_t kEcnCwr = 8;  // congestion window reduced (data)
+
 struct Packet {
   std::uint64_t uid = 0;        // globally unique, assigned at creation
   ConnId conn = 0;
   PacketKind kind = PacketKind::kData;
   bool retransmit = false;      // data: this is a retransmission
   std::uint8_t sack_count = 0;  // ack: SACK blocks present (0 when disabled)
+  std::uint8_t ecn = 0;         // ECN codepoint/echo bits (kEcn*)
   std::uint32_t seq = 0;        // data: this packet's sequence number
   std::uint32_t ack = 0;        // ack: next sequence expected by receiver
   std::uint32_t size_bytes = 0;

@@ -14,7 +14,19 @@ OutputPort::OutputPort(sim::Simulator& sim, std::string name,
       name_(std::move(name)),
       bits_per_second_(bits_per_second),
       propagation_delay_(propagation_delay),
-      queue_(limit, policy, drop_seed) {
+      queue_(std::make_unique<DropTailQueue>(limit, policy, drop_seed)) {
+  assert(bits_per_second > 0);
+}
+
+OutputPort::OutputPort(sim::Simulator& sim, std::string name,
+                       std::int64_t bits_per_second,
+                       sim::Time propagation_delay, const QdiscConfig& qdisc,
+                       std::uint64_t drop_seed)
+    : sim_(sim),
+      name_(std::move(name)),
+      bits_per_second_(bits_per_second),
+      propagation_delay_(propagation_delay),
+      queue_(make_qdisc(qdisc, drop_seed)) {
   assert(bits_per_second > 0);
 }
 
@@ -22,7 +34,7 @@ void OutputPort::enqueue(Packet pkt) {
   if (!up_ && down_policy_ == DownPolicy::kDiscard) {
     // Down link, discard policy: the arrival is rejected before the buffer
     // is consulted. Still an arrival + drop to the queue's conservation law.
-    queue_.count_rejected(pkt);
+    queue_->count_rejected(pkt);
     ++fault_counters_.drops_down;
     fault_counters_.bytes_drops_down += pkt.size_bytes;
     if (observer_ != nullptr) {
@@ -35,31 +47,33 @@ void OutputPort::enqueue(Packet pkt) {
   // not be selected as a random-drop victim. `pkt` is copied into the queue
   // (Packet is a small trivially-copyable value) so the observer can still
   // see the admitted arrival below.
-  const EnqueueResult result = queue_.offer(pkt, transmitting_);
+  const EnqueueResult result = queue_->offer(pkt, transmitting_);
+  // Mirror the discipline's CE mark onto the local copy so observers see
+  // the packet exactly as it was admitted.
+  if (result.marked) pkt.ecn |= kEcnCe;
   if (observer_ != nullptr) {
-    // A dropped packet with result.accepted is a random-drop victim that had
-    // been admitted earlier; without it, the arrival itself was rejected.
+    // The discipline names which drop branch fired: a rejected arrival
+    // (queue-tail, RED early) or an evicted occupant (random-drop victim).
     if (result.dropped.has_value()) {
-      observer_->on_drop(sim_.now(), *this, *result.dropped,
-                         result.accepted ? DropCause::kQueueVictim
-                                         : DropCause::kQueueTail);
+      observer_->on_drop(sim_.now(), *this, *result.dropped, result.cause);
     }
+    if (result.marked) observer_->on_mark(sim_.now(), *this, pkt);
     if (result.accepted) observer_->on_enqueue(sim_.now(), *this, pkt);
   }
   if (result.dropped.has_value() && on_drop) {
     on_drop(sim_.now(), *result.dropped);
   }
   if (result.accepted && !result.dropped.has_value() && on_queue_change) {
-    on_queue_change(sim_.now(), queue_.length());
+    on_queue_change(sim_.now(), queue_->length());
   }
-  if (up_ && !transmitting_ && !queue_.empty()) start_transmission();
+  if (up_ && !transmitting_ && !queue_->empty()) start_transmission();
 }
 
 void OutputPort::start_transmission() {
   assert(up_);
-  assert(!queue_.empty());
+  assert(!queue_->empty());
   transmitting_ = true;
-  const Packet& head = queue_.front();
+  const Packet& head = queue_->front();
   const sim::Time now = sim_.now();
   tx_started_ = now;
   if (record_busy_) {
@@ -84,10 +98,10 @@ void OutputPort::finish_transmission() {
   const sim::Time now = sim_.now();
   if (record_busy_) busy_.back().end = now;
   served_tx_ns_ += (now - tx_started_).ns();
-  std::optional<Packet> pkt = queue_.pop();
+  std::optional<Packet> pkt = queue_->pop();
   assert(pkt.has_value());
   if (observer_ != nullptr) observer_->on_dequeue(now, *this, *pkt);
-  if (on_queue_change) on_queue_change(now, queue_.length());
+  if (on_queue_change) on_queue_change(now, queue_->length());
   bool lost = false;
   sim::Time extra = sim::Time::zero();
   if (impair_ != nullptr) {
@@ -114,7 +128,7 @@ void OutputPort::finish_transmission() {
                   "propagation event (pointer + Packet) must stay inline");
     sim_.schedule(propagation_delay_ + extra, std::move(deliver));
   }
-  if (!queue_.empty()) start_transmission();
+  if (!queue_->empty()) start_transmission();
 }
 
 void OutputPort::set_link_up(bool up) {
@@ -133,7 +147,7 @@ void OutputPort::set_link_up(bool up) {
       aborted_tx_ns_ += (now - tx_started_).ns();
     }
     if (down_policy_ == DownPolicy::kDiscard) {
-      std::vector<Packet> flushed = queue_.flush();
+      std::vector<Packet> flushed = queue_->flush();
       for (const Packet& p : flushed) {
         ++fault_counters_.drops_down;
         fault_counters_.bytes_drops_down += p.size_bytes;
@@ -144,7 +158,7 @@ void OutputPort::set_link_up(bool up) {
       }
       if (!flushed.empty() && on_queue_change) on_queue_change(now, 0);
     }
-  } else if (!queue_.empty()) {
+  } else if (!queue_->empty()) {
     start_transmission();
   }
 }
@@ -157,7 +171,7 @@ void OutputPort::set_rate(std::int64_t bits_per_second) {
     // Re-arm the in-flight serialization: the fraction of the frame already
     // on the wire stays sent; the remainder drains at the new rate. Exact
     // integer proportion (128-bit product) so repeated changes never drift.
-    const Packet& head = queue_.front();
+    const Packet& head = queue_->front();
     const std::int64_t old_total = transmission_time(head).ns();
     const std::int64_t elapsed = (sim_.now() - tx_started_).ns();
     const std::int64_t old_remaining = std::max<std::int64_t>(

@@ -37,10 +37,17 @@ struct BusyInterval {
 
 class OutputPort {
  public:
+  // Historic construction surface: drop-tail / random-drop by policy enum.
   OutputPort(sim::Simulator& sim, std::string name,
              std::int64_t bits_per_second, sim::Time propagation_delay,
              QueueLimit limit, DropPolicy policy = DropPolicy::kDropTail,
              std::uint64_t drop_seed = 1);
+
+  // General surface: any discipline in the zoo via QdiscConfig. `drop_seed`
+  // seeds the discipline's RNG stream (random-drop victims, RED lottery).
+  OutputPort(sim::Simulator& sim, std::string name,
+             std::int64_t bits_per_second, sim::Time propagation_delay,
+             const QdiscConfig& qdisc, std::uint64_t drop_seed = 1);
 
   void set_peer(Node* peer) { peer_ = peer; }
 
@@ -51,9 +58,10 @@ class OutputPort {
   const std::string& name() const { return name_; }
   std::int64_t bits_per_second() const { return bits_per_second_; }
   sim::Time propagation_delay() const { return propagation_delay_; }
-  std::size_t queue_length() const { return queue_.length(); }
-  std::size_t queue_length_bytes() const { return queue_.length_bytes(); }
-  const QueueCounters& counters() const { return queue_.counters(); }
+  std::size_t queue_length() const { return queue_->length(); }
+  std::size_t queue_length_bytes() const { return queue_->length_bytes(); }
+  const QueueCounters& counters() const { return queue_->counters(); }
+  const QueueDiscipline& qdisc() const { return *queue_; }
 
   // Whether a packet is currently serializing onto the wire (the queue head
   // occupies a buffer slot until finish_transmission pops it). The audit's
@@ -62,7 +70,7 @@ class OutputPort {
 
   // Head packet of the buffer; valid only when queue_length() > 0. While
   // transmitting() this is the packet in service.
-  const Packet& front() const { return queue_.front(); }
+  const Packet& front() const { return queue_->front(); }
 
   // Lifecycle observer (see net/observer.h); null disables observation.
   void set_observer(PacketObserver* observer) { observer_ = observer; }
@@ -149,7 +157,7 @@ class OutputPort {
   std::string name_;
   std::int64_t bits_per_second_;
   sim::Time propagation_delay_;
-  DropTailQueue queue_;
+  std::unique_ptr<QueueDiscipline> queue_;
   Node* peer_ = nullptr;
   PacketObserver* observer_ = nullptr;
   bool transmitting_ = false;

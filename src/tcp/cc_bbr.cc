@@ -230,6 +230,17 @@ void BbrCc::on_dup_ack_loss(sim::Time now) {
   notify(now, CcEvent::kFastRetransmit);
 }
 
+void BbrCc::on_ecn_echo(sim::Time now) {
+  // Unlike loss, a CE mark IS a congestion signal — the AQM saw its queue
+  // threshold crossed. BBRv1 ignores ECN; this takes the v2-flavored middle
+  // road: trim the window by a quarter (gated to once per RTT by the
+  // transport) without touching the bandwidth/RTT model, so pacing recovers
+  // as soon as the marks stop.
+  const std::uint32_t reduced = cwnd_ - cwnd_ / 4;
+  cwnd_ = reduced > params_.min_cwnd ? reduced : params_.min_cwnd;
+  notify(now, CcEvent::kEcnEcho);
+}
+
 void BbrCc::on_timeout(sim::Time now) {
   // An RTO means the ACK clock collapsed. Restart from the floor but keep
   // the long-lived model (bandwidth filter, min RTT) so pacing resumes at

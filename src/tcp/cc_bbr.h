@@ -83,6 +83,7 @@ class BbrCc final : public CongestionControl {
                bool retransmit) override;
   void on_dup_ack_loss(sim::Time now) override;
   void on_timeout(sim::Time now) override;
+  void on_ecn_echo(sim::Time now) override;
   sim::Time pacing_interval() const override;
 
   // --- model observers (tests, experiment layer) -----------------------

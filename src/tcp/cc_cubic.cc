@@ -136,4 +136,13 @@ void CubicCc::on_timeout(sim::Time now) {
   notify(now, CcEvent::kTimeout);
 }
 
+void CubicCc::on_ecn_echo(sim::Time now) {
+  // A CE mark is the same multiplicative-decrease signal as a fast
+  // retransmit (RFC 9438 §4.6 refers back to RFC 3168), without a loss to
+  // repair: β·cwnd and a fresh cubic epoch.
+  reduce();
+  cwnd_ = ssthresh_;
+  notify(now, CcEvent::kEcnEcho);
+}
+
 }  // namespace tcpdyn::tcp

@@ -47,6 +47,7 @@ class CubicCc final : public CongestionControl {
   void on_ack(const AckContext& ctx) override;
   void on_dup_ack_loss(sim::Time now) override;
   void on_timeout(sim::Time now) override;
+  void on_ecn_echo(sim::Time now) override;
 
   // Integer cube root (largest r with r³ <= x). Public for the unit tests
   // that check the curve against closed-form values.

@@ -91,6 +91,21 @@ void VegasCc::on_dup_ack_loss(sim::Time now) {
   notify(now, CcEvent::kFastRetransmit);
 }
 
+void VegasCc::on_ecn_echo(sim::Time now) {
+  // Same gentle 3/4 reduction as the fast-retransmit path: a CE mark says
+  // the bottleneck queue crossed the AQM threshold, which for Vegas is the
+  // same "backlog too large" evidence its delay sensing acts on. The epoch
+  // restarts for the same reason as in on_dup_ack_loss: the pre-mark RTT
+  // samples are queue-inflated.
+  ssthresh_ = halved_ssthresh(cwnd_);
+  const double reduced = capped(cwnd_ * 3.0 / 4.0);
+  cwnd_ = reduced > 2.0 ? reduced : 2.0;
+  beg_snd_nxt_ = highest_sent_;
+  have_epoch_min_ = false;
+  epoch_samples_ = 0;
+  notify(now, CcEvent::kEcnEcho);
+}
+
 void VegasCc::on_timeout(sim::Time now) {
   ssthresh_ = halved_ssthresh(cwnd_);
   cwnd_ = 2.0;

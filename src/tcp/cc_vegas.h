@@ -54,6 +54,7 @@ class VegasCc final : public CongestionControl {
                bool retransmit) override;
   void on_dup_ack_loss(sim::Time now) override;
   void on_timeout(sim::Time now) override;
+  void on_ecn_echo(sim::Time now) override;
 
  private:
   void epoch_adjust(const AckContext& ctx);

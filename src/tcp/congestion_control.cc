@@ -42,6 +42,7 @@ const char* to_string(CcEvent ev) {
     case CcEvent::kFastRetransmit: return "fast-retransmit";
     case CcEvent::kTimeout: return "timeout";
     case CcEvent::kRecoveryExit: return "recovery-exit";
+    case CcEvent::kEcnEcho: return "ecn-echo";
   }
   return "?";
 }

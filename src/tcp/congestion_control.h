@@ -70,6 +70,7 @@ enum class CcEvent : std::uint8_t {
   kFastRetransmit, // dup-ACK threshold loss response
   kTimeout,        // RTO loss response
   kRecoveryExit,   // deflation when recovery completes
+  kEcnEcho,        // ECE on an ACK: congestion signal without loss
 };
 
 const char* to_string(CcEvent ev);
@@ -131,6 +132,11 @@ class CongestionControl {
   virtual void on_dup_ack(sim::Time /*now*/) {}
   virtual void on_dup_ack_loss(sim::Time now) = 0;
   virtual void on_timeout(sim::Time now) = 0;
+  // An ECN echo (ECE) arrived on an ACK. The transport gates this to at
+  // most once per RTT (RFC 3168 §6.1.2), so implementations react
+  // unconditionally — typically like a loss response, minus retransmission.
+  // Default no-op: non-ECN controllers (FixedWindow) ignore the signal.
+  virtual void on_ecn_echo(sim::Time /*now*/) {}
   virtual void on_sent(sim::Time /*now*/, std::uint32_t /*seq*/,
                        std::uint32_t /*size_bytes*/, bool /*retransmit*/) {}
 

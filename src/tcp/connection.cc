@@ -12,6 +12,7 @@ Connection::Connection(net::Network& network, ConnectionConfig config)
   sp.maxwnd = config.maxwnd;
   sp.dupack_threshold = config.dupack_threshold;
   sp.pacing_interval = config.pacing_interval;
+  sp.ecn = config.ecn;
   sp.rtt = config.rtt;
 
   auto& src = network.host(config.src_host);
@@ -35,6 +36,7 @@ Connection::Connection(net::Network& network, ConnectionConfig config)
   rp.peer = config.src_host;
   rp.ack_bytes = config.ack_bytes;
   rp.delayed_ack = config.delayed_ack;
+  rp.ecn = config.ecn;
   // The receiver advertises SACK blocks exactly when the sender's
   // controller runs scoreboard recovery (both ends negotiate the option).
   rp.sack = sender_->cc().wants_sack();

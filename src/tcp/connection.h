@@ -34,6 +34,9 @@ struct ConnectionConfig {
   std::uint32_t maxwnd = 1000;               // paper: never binding
   std::uint32_t dupack_threshold = 3;
   bool delayed_ack = false;
+  // ECN negotiation: both endpoints get the flag, so data carries ECT, an
+  // AQM mark becomes an ECE echo, and the controller's on_ecn_echo fires.
+  bool ecn = false;
   sim::Time pacing_interval = sim::Time::zero();
   sim::Time start_time = sim::Time::zero();
   sim::Time stop_time = sim::Time::zero();   // zero = transmit forever

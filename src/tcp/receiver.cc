@@ -12,6 +12,13 @@ Receiver::Receiver(sim::Simulator& sim, net::Host& host, ReceiverParams params)
 
 void Receiver::deliver(const net::Packet& pkt) {
   ++data_received_;
+  if (params_.ecn) {
+    // CWR before CE, so a packet carrying both (reduction confirmed, then
+    // marked again downstream) leaves the echo armed for the fresh mark.
+    if ((pkt.ecn & net::kEcnCwr) != 0) ece_pending_ = false;
+    if ((pkt.ecn & net::kEcnCe) != 0) ece_pending_ = true;
+  }
+  bool duplicate = false;
   if (pkt.seq == next_expected_) {
     ++next_expected_;
     // Absorb any contiguous buffered packets.
@@ -36,6 +43,7 @@ void Receiver::deliver(const net::Packet& pkt) {
     last_oo_seq_ = pkt.seq;  // its run leads the next SACK option
   } else {
     ++duplicates_;  // already delivered; ACK again (sender needs the dup-ACK)
+    duplicate = true;
   }
 
   if (!params_.delayed_ack) {
@@ -44,9 +52,12 @@ void Receiver::deliver(const net::Packet& pkt) {
   }
   // Delayed-ACK option: ACK every second packet, or on timer expiry. A
   // packet that fills a gap (out-of-order conditions) is ACKed immediately
-  // so the sender learns about recovery promptly, as BSD does.
+  // so the sender learns about recovery promptly, as BSD does. A duplicate
+  // must also be ACKed immediately — it feeds the sender's dup-ACK clock —
+  // and cannot be recognized by sequence alone: a duplicate of the most
+  // recent in-order segment also satisfies seq == next_expected_ - 1.
   ++unacked_arrivals_;
-  if (unacked_arrivals_ >= 2 || pkt.seq != next_expected_ - 1) {
+  if (duplicate || unacked_arrivals_ >= 2 || pkt.seq != next_expected_ - 1) {
     send_ack();
   } else {
     arm_delayed_ack_timer();
@@ -66,6 +77,7 @@ void Receiver::send_ack() {
   ack.src = params_.self;
   ack.dst = params_.peer;
   ack.created = sim_.now();
+  if (params_.ecn && ece_pending_) ack.ecn |= net::kEcnEce;
   if (params_.sack && !out_of_order_.empty()) fill_sack_blocks(ack);
   ++acks_sent_;
   if (on_ack_sent) on_ack_sent(sim_.now(), ack);
@@ -75,12 +87,17 @@ void Receiver::send_ack() {
 void Receiver::fill_sack_blocks(net::Packet& ack) const {
   // Contiguous runs of the (sorted, duplicate-free) reassembly buffer are
   // the SACK blocks. RFC 2018: the block containing the most recently
-  // received segment goes first; the rest follow in ascending order.
+  // received segment goes first; the rest follow in ascending order. The
+  // lead run must be located over ALL runs, not just the first
+  // kMaxSackBlocks of them — when the buffer fragments into more runs than
+  // the option holds, the newest information is exactly what must not be
+  // truncated away.
   net::SackBlock runs[net::kMaxSackBlocks];
   std::uint8_t n = 0;
-  int lead = -1;  // index in `runs` of last_oo_seq_'s run
+  bool have_lead = false;
+  net::SackBlock lead{};
   std::size_t i = 0;
-  while (i < out_of_order_.size() && n < net::kMaxSackBlocks) {
+  while (i < out_of_order_.size()) {
     const std::uint32_t start = out_of_order_[i];
     std::uint32_t end = start + 1;
     while (i + 1 < out_of_order_.size() && out_of_order_[i + 1] == end) {
@@ -88,17 +105,22 @@ void Receiver::fill_sack_blocks(net::Packet& ack) const {
       ++i;
     }
     if (last_oo_seq_ >= start && last_oo_seq_ < end) {
-      lead = n;
+      have_lead = true;
+      lead = net::SackBlock{start, end};
     }
-    runs[n++] = net::SackBlock{start, end};
+    if (n < net::kMaxSackBlocks) runs[n++] = net::SackBlock{start, end};
     ++i;
+    // The runs array is full and the lead run has been found: nothing a
+    // later run could contribute.
+    if (n == net::kMaxSackBlocks && have_lead) break;
   }
-  ack.sack_count = n;
   std::uint8_t out = 0;
-  if (lead >= 0) ack.sack[out++] = runs[lead];
-  for (std::uint8_t r = 0; r < n && out < n; ++r) {
-    if (r != lead) ack.sack[out++] = runs[r];
+  if (have_lead) ack.sack[out++] = lead;
+  for (std::uint8_t r = 0; r < n && out < net::kMaxSackBlocks; ++r) {
+    if (have_lead && runs[r].start == lead.start) continue;
+    ack.sack[out++] = runs[r];
   }
+  ack.sack_count = out;
 }
 
 void Receiver::arm_delayed_ack_timer() {

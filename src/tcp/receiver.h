@@ -26,6 +26,10 @@ struct ReceiverParams {
   // recently arrived out-of-order packet first. Enabled by Connection when
   // the sender's controller wants scoreboard recovery (NewReno).
   bool sack = false;
+  // ECN (RFC 3168, simplified): echo ECE on every ACK from the first
+  // CE-marked data arrival until a CWR-flagged data packet confirms the
+  // sender reduced its window.
+  bool ecn = false;
   sim::Time delayed_ack_timeout = sim::Time::milliseconds(200);
 };
 
@@ -63,6 +67,8 @@ class Receiver : public net::PacketSink {
   std::uint64_t next_uid_ = 0;
   // SACK: most recent out-of-order arrival (its run is reported first).
   std::uint32_t last_oo_seq_ = 0;
+  // ECN: a CE mark was seen and the sender has not yet confirmed with CWR.
+  bool ece_pending_ = false;
   // Delayed-ACK state: number of data packets received since the last ACK.
   std::uint32_t unacked_arrivals_ = 0;
   sim::EventHandle delayed_timer_;

@@ -41,6 +41,15 @@ void WindowSender::deliver(const net::Packet& ack) {
   assert(net::is_ack(ack));
   if (stopped_) return;
   ++counters_.acks_received;
+  if (params_.ecn && (ack.ecn & net::kEcnEce) != 0 &&
+      ack.ack >= ecn_react_until_) {
+    // ECN echo, and the window sent at the previous reduction has drained:
+    // react once, then hold until a full new window is acknowledged.
+    ecn_react_until_ = snd_nxt_ > ack.ack + 1 ? snd_nxt_ : ack.ack + 1;
+    cwr_pending_ = true;
+    ++counters_.ecn_reductions;
+    cc_->on_ecn_echo(sim_.now());
+  }
   const bool sack_mode = cc_->wants_sack();
   if (sack_mode) {
     for (std::uint8_t i = 0; i < ack.sack_count; ++i) {
@@ -167,6 +176,13 @@ void WindowSender::send_packet(std::uint32_t seq) {
   pkt.dst = params_.peer;
   pkt.created = sim_.now();
   pkt.retransmit = seq < high_water_;
+  if (params_.ecn) {
+    pkt.ecn = net::kEcnEct;
+    if (cwr_pending_) {
+      pkt.ecn |= net::kEcnCwr;
+      cwr_pending_ = false;
+    }
+  }
 
   ++counters_.data_sent;
   if (pkt.retransmit) ++counters_.retransmits;

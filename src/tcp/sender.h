@@ -42,6 +42,11 @@ struct SenderParams {
   std::uint32_t maxwnd = 1000;           // receiver-advertised window
   std::uint32_t dupack_threshold = 3;
   sim::Time pacing_interval = sim::Time::zero();  // 0 => nonpaced
+  // ECN (RFC 3168, simplified): data packets carry ECT, an ECE echo on an
+  // ACK triggers the controller's on_ecn_echo (at most once per RTT) and the
+  // next data packet carries CWR to stop the receiver's echo. Both endpoints
+  // of a connection must agree (ConnectionConfig::ecn sets both).
+  bool ecn = false;
   RttParams rtt;
 };
 
@@ -51,6 +56,7 @@ struct SenderCounters {
   std::uint64_t acks_received = 0;
   std::uint64_t dup_ack_losses = 0;     // losses detected via dup ACKs
   std::uint64_t timeout_losses = 0;     // losses detected via timer expiry
+  std::uint64_t ecn_reductions = 0;     // once-per-RTT ECE window reductions
 };
 
 class WindowSender : public net::PacketSink {
@@ -126,6 +132,13 @@ class WindowSender : public net::PacketSink {
   std::uint32_t high_water_ = 0;  // highest seq ever sent + 1
   std::uint32_t dupacks_ = 0;
   std::uint64_t next_uid_ = 0;
+
+  // ECN once-per-RTT gate: echoes are ignored until the cumulative ACK
+  // reaches this sequence (set to snd_nxt at the last reduction, so one
+  // full in-flight window must drain first — RFC 3168 §6.1.2). cwr_pending_
+  // makes the next data packet carry CWR, which stops the receiver's echo.
+  std::uint32_t ecn_react_until_ = 0;
+  bool cwr_pending_ = false;
 
   // SACK recovery state (only used when cc_->wants_sack()). Recovery begins
   // at the dup-ACK threshold and ends when the cumulative ACK reaches

@@ -59,6 +59,16 @@ class TahoeCc : public CongestionControl {
     collapse(now, CcEvent::kTimeout);
   }
 
+  void on_ecn_echo(sim::Time now) override {
+    // RFC 3168 §6.1.2: respond as to a fast retransmit — halve the window —
+    // but nothing was lost, so no collapse to one and no retransmission.
+    // Inherited by Reno and NewReno, whose recovery mechanics are loss-path
+    // machinery that a pure congestion signal never enters.
+    ssthresh_ = halved_ssthresh(cwnd_);
+    cwnd_ = static_cast<double>(ssthresh_);
+    notify(now, CcEvent::kEcnEcho);
+  }
+
  protected:
   // Shared by Tahoe and Reno's non-recovery ACK path.
   void grow(bool modified_increment) {

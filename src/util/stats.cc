@@ -101,6 +101,40 @@ std::vector<double> detrend(std::span<const double> xs) {
   return out;
 }
 
+LaggedCorrelation peak_cross_correlation(std::span<const double> a,
+                                         std::span<const double> b,
+                                         std::size_t max_lag) {
+  LaggedCorrelation best;
+  best.degenerate = true;
+  if (a.size() != b.size() || a.empty()) return best;
+  const auto n = a.size();
+  const auto at = [&](int lag) {
+    // lag >= 0 pairs a[i] with b[i + lag] (b trails a by `lag` samples);
+    // lag < 0 pairs a[i - lag] with b[i].
+    const auto shift = static_cast<std::size_t>(lag >= 0 ? lag : -lag);
+    if (shift >= n) return Correlation{0.0, true};
+    const std::size_t len = n - shift;
+    return lag >= 0 ? pearson_checked(a.subspan(0, len), b.subspan(shift, len))
+                    : pearson_checked(a.subspan(shift, len), b.subspan(0, len));
+  };
+  // Visit lags by increasing |lag| (negative first) so ties keep the
+  // smallest shift — a pure phase offset then reports its true delay, not
+  // a harmonic.
+  for (std::size_t s = 0; s <= max_lag; ++s) {
+    for (const int lag : {-static_cast<int>(s), static_cast<int>(s)}) {
+      const Correlation c = at(lag);
+      if (c.degenerate) continue;
+      if (best.degenerate || c.rho > best.rho) {
+        best.rho = c.rho;
+        best.lag = lag;
+        best.degenerate = false;
+      }
+      if (s == 0) break;  // -0 and +0 are the same lag
+    }
+  }
+  return best;
+}
+
 double autocorrelation(std::span<const double> xs, std::size_t lag) {
   const std::size_t n = xs.size();
   if (lag >= n) return 0.0;

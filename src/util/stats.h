@@ -57,6 +57,21 @@ double pearson(std::span<const double> a, std::span<const double> b);
 // Removes the least-squares linear trend (intercept + slope*i) from xs.
 std::vector<double> detrend(std::span<const double> xs);
 
+// Lagged cross-correlation peak: Pearson rho of the overlapping parts of a
+// and b[i + lag], maximized over integer lags in [-max_lag, +max_lag].
+// lag > 0 means b's signal trails a's (b is a delayed copy of a); ties go to
+// the smallest |lag| (negative before positive). Degenerate when every lag is
+// degenerate (flat or too-short overlap).
+struct LaggedCorrelation {
+  double rho = 0.0;
+  int lag = 0;
+  bool degenerate = false;
+};
+
+LaggedCorrelation peak_cross_correlation(std::span<const double> a,
+                                         std::span<const double> b,
+                                         std::size_t max_lag);
+
 // Normalized autocorrelation of a (detrended) series at the given lag.
 double autocorrelation(std::span<const double> xs, std::size_t lag);
 

@@ -197,6 +197,132 @@ TEST_F(ReceiverTest, DelayedAckPendingTimerNotStretchedByLaterPacket) {
   EXPECT_EQ(acks_[1].second, 2u);
 }
 
+TEST_F(ReceiverTest, DelayedAckDuplicateOfLatestSegmentAcksImmediately) {
+  // Regression: a duplicate of the most recent in-order segment satisfies
+  // seq == next_expected_ - 1, so sequence inspection alone would classify
+  // it as a fresh in-order arrival and hold its ACK for the delay timer —
+  // stalling the sender's dup-ACK clock. Duplicates must ACK at once.
+  auto r = make(/*delayed=*/true);
+  data(*r, 0);
+  data(*r, 1);  // combined ACK 2
+  ASSERT_EQ(acks_.size(), 1u);
+  data(*r, 1);  // retransmitted copy of the newest delivered segment
+  ASSERT_EQ(acks_.size(), 2u);
+  EXPECT_EQ(acks_[1].second, 2u);
+  EXPECT_EQ(r->duplicates_received(), 1u);
+  sim_.run_until(sim::Time::seconds(1.0));
+  EXPECT_EQ(acks_.size(), 2u);  // and the timer adds nothing afterwards
+}
+
+TEST_F(ReceiverTest, DelayedAckOlderDuplicateAcksImmediately) {
+  auto r = make(/*delayed=*/true);
+  for (std::uint32_t i = 0; i < 4; ++i) data(*r, i);  // ACKs 2, 4
+  ASSERT_EQ(acks_.size(), 2u);
+  data(*r, 0);  // stale retransmission from far below the window
+  ASSERT_EQ(acks_.size(), 3u);
+  EXPECT_EQ(acks_[2].second, 4u);
+}
+
+TEST_F(ReceiverTest, SackLeadRunSelectedBeyondBlockCap) {
+  // Regression: with more reassembly runs than the option holds, the run of
+  // the most recently received segment was scanned after the cap and never
+  // selected as the lead block (RFC 2018 requires it first).
+  ReceiverParams p = params();
+  p.sack = true;
+  Receiver r(sim_, net_.host(h2_), p);
+  std::vector<net::Packet> acks;
+  r.on_ack_sent = [&](sim::Time, const net::Packet& a) { acks.push_back(a); };
+  const auto send = [&](std::uint32_t seq) {
+    net::Packet d;
+    d.conn = 0;
+    d.kind = net::PacketKind::kData;
+    d.seq = seq;
+    d.size_bytes = 500;
+    d.src = h1_;
+    d.dst = h2_;
+    r.deliver(d);
+  };
+  send(2);  // run [2,3)
+  send(4);  // run [4,5)
+  send(6);  // run [6,7): third run, past kMaxSackBlocks == 2
+  ASSERT_EQ(acks.size(), 3u);
+  const net::Packet& last = acks.back();
+  ASSERT_EQ(last.sack_count, net::kMaxSackBlocks);
+  EXPECT_EQ(last.sack[0].start, 6u);  // most recent run leads
+  EXPECT_EQ(last.sack[0].end, 7u);
+  EXPECT_EQ(last.sack[1].start, 2u);  // remaining runs ascending
+  EXPECT_EQ(last.sack[1].end, 3u);
+}
+
+TEST_F(ReceiverTest, SackLeadRunFirstWithinCap) {
+  ReceiverParams p = params();
+  p.sack = true;
+  Receiver r(sim_, net_.host(h2_), p);
+  std::vector<net::Packet> acks;
+  r.on_ack_sent = [&](sim::Time, const net::Packet& a) { acks.push_back(a); };
+  const auto send = [&](std::uint32_t seq) {
+    net::Packet d;
+    d.conn = 0;
+    d.kind = net::PacketKind::kData;
+    d.seq = seq;
+    d.src = h1_;
+    d.dst = h2_;
+    r.deliver(d);
+  };
+  send(5);
+  send(2);  // most recent: run [2,3) leads even though [5,6) sorts first
+  const net::Packet& last = acks.back();
+  ASSERT_EQ(last.sack_count, 2u);
+  EXPECT_EQ(last.sack[0].start, 2u);
+  EXPECT_EQ(last.sack[1].start, 5u);
+}
+
+TEST_F(ReceiverTest, EcnCeArmsEceUntilCwr) {
+  // RFC 3168 echo: every ACK after a CE-marked arrival carries ECE until a
+  // CWR-marked data packet confirms the sender reacted.
+  ReceiverParams p = params();
+  p.ecn = true;
+  Receiver r(sim_, net_.host(h2_), p);
+  std::vector<net::Packet> acks;
+  r.on_ack_sent = [&](sim::Time, const net::Packet& a) { acks.push_back(a); };
+  const auto send = [&](std::uint32_t seq, std::uint8_t ecn) {
+    net::Packet d;
+    d.conn = 0;
+    d.kind = net::PacketKind::kData;
+    d.seq = seq;
+    d.ecn = ecn;
+    d.src = h1_;
+    d.dst = h2_;
+    r.deliver(d);
+  };
+  send(0, net::kEcnEct);
+  EXPECT_EQ(acks.back().ecn & net::kEcnEce, 0);
+  send(1, net::kEcnEct | net::kEcnCe);  // marked at a RED gateway
+  EXPECT_NE(acks.back().ecn & net::kEcnEce, 0);
+  send(2, net::kEcnEct);  // echo persists on unmarked arrivals
+  EXPECT_NE(acks.back().ecn & net::kEcnEce, 0);
+  send(3, net::kEcnEct | net::kEcnCwr);  // sender confirmed the reduction
+  EXPECT_EQ(acks.back().ecn & net::kEcnEce, 0);
+  // CWR and CE on one packet: the echo stays armed for the fresh mark.
+  send(4, net::kEcnEct | net::kEcnCwr | net::kEcnCe);
+  EXPECT_NE(acks.back().ecn & net::kEcnEce, 0);
+}
+
+TEST_F(ReceiverTest, EcnDisabledIgnoresCe) {
+  auto r = make();
+  net::Packet d;
+  d.conn = 0;
+  d.kind = net::PacketKind::kData;
+  d.seq = 0;
+  d.ecn = net::kEcnEct | net::kEcnCe;
+  d.src = h1_;
+  d.dst = h2_;
+  net::Packet seen;
+  r->on_ack_sent = [&](sim::Time, const net::Packet& a) { seen = a; };
+  r->deliver(d);
+  EXPECT_EQ(seen.ecn, 0);
+}
+
 TEST_F(ReceiverTest, AckPacketFields) {
   ReceiverParams p = params();
   p.ack_bytes = 42;

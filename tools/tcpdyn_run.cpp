@@ -29,7 +29,7 @@ void declare_flags(util::Flags& flags) {
   flags
       .flag("scenario", "NAME",
             "fig2|fig3|fig4|fig6|fig8|fig9|oneway|twoway|fixed|chain|ring|"
-            "parking-lot|waxman|chaos|topo|cc-matrix (also accepted "
+            "parking-lot|waxman|chaos|red-wave|topo|cc-matrix (also accepted "
             "positionally)",
             "fig4")
       .flag("file", "PATH", "topology file (scenario topo)", "")
@@ -54,6 +54,11 @@ void declare_flags(util::Flags& flags) {
       .flag("delayed-ack", "receiver delayed-ACK option", false)
       .flag("pacing", "SEC", "pacing interval (0 = nonpaced)", 0.0)
       .flag("random-drop", "random-drop bottleneck discipline", false)
+      .flag("qdisc", "NAME",
+            "bottleneck queue discipline "
+            "(droptail|randomdrop|red|red-ecn|drr); oneway/twoway/red-wave",
+            "")
+      .flag("ecn", "flows negotiate ECN (oneway/twoway/red-wave)", false)
       .flag("w1", "PKTS", "fixed-window size, forward", 30)
       .flag("w2", "PKTS", "fixed-window size, reverse", 25)
       .flag("seed", "N", "seed for randomized scenarios", 7)
@@ -96,6 +101,24 @@ std::vector<tcp::CcAlgorithm> parse_cc_list(const std::string& list) {
   return out;
 }
 
+// Parses --qdisc into a full discipline config; nullopt when the flag is
+// unset (keep the scenario's historic drop-policy path). Throws on an
+// unknown name.
+std::optional<net::QdiscConfig> parse_qdisc_flag(const util::Flags& flags) {
+  const std::string name = flags.get("qdisc");
+  if (name.empty()) return std::nullopt;
+  net::QdiscConfig config;
+  bool ecn = false;
+  const auto kind = net::parse_qdisc(name, &ecn);
+  if (!kind) {
+    throw std::invalid_argument("unknown --qdisc '" + name +
+                                "' (droptail|randomdrop|red|red-ecn|drr)");
+  }
+  config.kind = *kind;
+  config.red.ecn = ecn;
+  return config;
+}
+
 core::Scenario custom_dumbbell(const util::Flags& flags, bool two_way) {
   core::DumbbellParams p;
   p.tau = sim::Time::seconds(flags.get_double("tau"));
@@ -105,6 +128,7 @@ core::Scenario custom_dumbbell(const util::Flags& flags, bool two_way) {
   if (flags.get_bool("random-drop")) {
     p.bottleneck_policy = net::DropPolicy::kRandomDrop;
   }
+  p.bottleneck_qdisc = parse_qdisc_flag(flags);
 
   const auto n = static_cast<std::size_t>(flags.get_int("conns"));
   const std::string sender = flags.get("sender");
@@ -117,6 +141,7 @@ core::Scenario custom_dumbbell(const util::Flags& flags, bool two_way) {
                     : sender == "reno" ? tcp::SenderKind::kReno
                                        : tcp::SenderKind::kTahoe;
     conns[i].delayed_ack = flags.get_bool("delayed-ack");
+    conns[i].ecn = flags.get_bool("ecn");
     conns[i].pacing_interval = sim::Time::seconds(flags.get_double("pacing"));
     conns[i].start_time = sim::Time::seconds(0.37 * static_cast<double>(i));
   }
@@ -208,6 +233,21 @@ core::Scenario build(const std::string& which, const util::Flags& flags) {
     if (flags.has("duration")) p.duration_sec = flags.get_double("duration");
     p.seed = seed;
     return core::chaos_scenario(p);
+  }
+  if (which == "red-wave") {
+    core::RedWaveParams p;
+    if (flags.has("hops")) p.hops = size("hops");
+    if (flags.has("tau")) p.tau_sec = flags.get_double("tau");
+    if (flags.has("buffer")) p.buffer = size("buffer");
+    if (flags.has("conns")) p.flows = size("conns");
+    if (const auto qdisc = parse_qdisc_flag(flags)) p.qdisc = *qdisc;
+    p.ecn = flags.get_bool("ecn");
+    const std::vector<tcp::CcAlgorithm> cc = parse_cc_list(flags.get("cc"));
+    if (!cc.empty()) p.cc = cc.front();
+    if (flags.has("warmup")) p.warmup_sec = flags.get_double("warmup");
+    if (flags.has("duration")) p.duration_sec = flags.get_double("duration");
+    p.seed = seed;
+    return core::red_wave_scenario(p);
   }
   if (which == "topo") {
     const std::string file = flags.get("file");
@@ -315,6 +355,21 @@ int main(int argc, char** argv) {
   const std::string name = scenario.name;
   core::ScenarioSummary s = core::run_scenario(scenario);
   core::print_summary(std::cout, name, s);
+
+  if (name == "red-wave") {
+    const core::WaveStats w = core::analyze_waves(
+        s.result.ports, s.result.t_start, s.result.t_end);
+    std::cout << "\ncongestion wave (" << w.hops << " hops):\n"
+              << "  adjacent lag        " << w.mean_adjacent_lag_sec
+              << " s (corr " << w.mean_adjacent_correlation << ")\n"
+              << "  wave speed          " << w.wave_speed_hops_per_sec
+              << " hops/s\n"
+              << "  correlation length  " << w.correlation_length_hops
+              << " hops\n"
+              << "  queue amplitude     " << w.mean_amplitude
+              << " packets (stddev, detrended)\n"
+              << "  mean utilization    " << w.mean_utilization << '\n';
+  }
 
   if (flags.get_bool("chart")) {
     std::cout << '\n';

@@ -38,7 +38,7 @@ void declare_flags(util::Flags& flags) {
   flags
       .flag("scenario", "NAME",
             "fig2|fig3|fig4|fig6|fixed|reno|paced|random-drop|delayed-ack|"
-            "rtt|chain|ring|parking-lot|waxman|chaos|ccmix",
+            "rtt|chain|ring|parking-lot|waxman|chaos|red-wave|ccmix",
             "fig4")
       .flag("grid", "SPEC", "axis spec (required)", "")
       .flag("jobs", "N", "worker threads (0 = all hardware threads)", 0)
@@ -58,7 +58,13 @@ void declare_flags(util::Flags& flags) {
       .flag("w2", "PKTS", "fixed-window size, reverse", "")
       .flag("spread", "SEC", "rtt scenario access-delay spread", "")
       .flag("maxwnd", "PKTS", "delayed-ack scenario window cap", "")
-      .flag("hops", "N", "parking-lot trunk links", "")
+      .flag("hops", "N", "parking-lot/red-wave trunk links", "")
+      .flag("qdisc", "NAME",
+            "red-wave trunk discipline "
+            "(droptail|randomdrop|red|red-ecn|drr); grid axes are numeric, "
+            "so the discipline is a flag, not an axis",
+            "")
+      .flag("ecn", "red-wave flows negotiate ECN", false)
       .flag("long-flows", "N", "parking-lot end-to-end flows", "")
       .flag("cross-per-hop", "N", "parking-lot cross flows per trunk", "")
       .flag("switches", "N", "ring/waxman switch count", "")
@@ -189,6 +195,29 @@ core::Scenario build_scenario(const std::string& which,
     p.flows = as_size(param(pt, flags, "conns", 32));
     p.seed = pt.seed;
     return core::waxman_scenario(p);
+  }
+  if (which == "red-wave") {
+    core::RedWaveParams p;
+    p.hops = as_size(param(pt, flags, "hops", static_cast<double>(p.hops)));
+    p.tau_sec = param(pt, flags, "tau", p.tau_sec);
+    p.buffer = as_size(param(pt, flags, "buffer",
+                             static_cast<double>(p.buffer)));
+    p.flows = as_size(param(pt, flags, "conns",
+                            static_cast<double>(p.flows)));
+    const std::string qdisc = flags.get("qdisc");
+    if (!qdisc.empty()) {
+      bool ecn = false;
+      const auto kind = net::parse_qdisc(qdisc, &ecn);
+      if (!kind) {
+        throw std::invalid_argument("unknown --qdisc '" + qdisc +
+                                    "' (droptail|randomdrop|red|red-ecn|drr)");
+      }
+      p.qdisc.kind = *kind;
+      p.qdisc.red.ecn = ecn;
+    }
+    p.ecn = flags.get_bool("ecn");
+    p.seed = pt.seed;
+    return core::red_wave_scenario(p);
   }
   if (which == "chaos") {
     core::ChaosParams p;
