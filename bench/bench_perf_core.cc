@@ -47,6 +47,7 @@
 #include "core/topo_scenarios.h"
 #include "net/queue.h"
 #include "sim/simulator.h"
+#include "sim/timer_wheel.h"
 #include "util/flags.h"
 
 using namespace tcpdyn;
@@ -60,6 +61,11 @@ struct WorkloadResult {
   std::uint64_t packets = 0;      // packets through the measured queues
   double sim_seconds = 0.0;       // simulated time covered (0 for micros)
   bool gated = true;              // participates in the regression gate
+  std::uint64_t flows = 0;        // flow count (incast workload)
+  // Peak-RSS growth during scenario construction divided by flow count —
+  // the flyweight metric. Gated downward: growing it past the threshold
+  // fails the baseline comparison.
+  double bytes_per_flow = 0.0;
 
   double events_per_sec() const {
     return wall_sec > 0.0 ? static_cast<double>(events) / wall_sec : 0.0;
@@ -196,6 +202,46 @@ WorkloadResult run_cc_matrix_small(double scale) {
   return r;
 }
 
+// 100k-session datacenter incast: the million-flow-scale configuration —
+// timer wheel backend, streaming monitors, per-flow traces off — on a
+// 200-wide fan-in with open-loop Poisson session churn. Reports events/sec
+// (gated like the other workloads) plus bytes/flow: peak-RSS growth across
+// scenario construction divided by the session count, gated *upward* so a
+// regression that fattens per-flow state fails the baseline comparison.
+// Construction is inside the timed region (as in topo512): instantiating
+// 100k flows is part of what the API costs.
+WorkloadResult run_incast100k(double scale) {
+  WorkloadResult r;
+  r.name = "incast100k";
+  core::IncastParams p;
+  p.senders = 200;
+  p.flows_per_sender = 500;   // 100'000 sessions
+  p.arrival_rate = 10.0;      // per sender: 2'000 sessions/sec aggregate
+  p.session_sec = 0.05;
+  p.warmup_sec = 5.0 * scale;
+  p.duration_sec = 55.0 * scale;
+  p.streaming = true;
+  p.per_flow_traces = false;
+  const sim::TimerBackend saved = sim::default_timer_backend();
+  sim::set_default_timer_backend(sim::TimerBackend::kWheel);
+  const long rss_before_kb = peak_rss_kb();
+  const double t0 = now_sec();
+  core::Scenario sc = core::incast_scenario(p);
+  const long rss_after_kb = peak_rss_kb();
+  const std::uint64_t flows =
+      static_cast<std::uint64_t>(p.senders) * p.flows_per_sender;
+  core::ExperimentResult result = sc.exp->run(sc.warmup, sc.duration);
+  r.wall_sec = now_sec() - t0;
+  r.events = sc.exp->sim().events_executed();
+  for (const auto& port : result.ports) r.packets += port.counters.arrivals;
+  r.sim_seconds = (sc.warmup + sc.duration).sec();
+  r.flows = flows;
+  r.bytes_per_flow = static_cast<double>(rss_after_kb - rss_before_kb) *
+                     1024.0 / static_cast<double>(flows);
+  sim::set_default_timer_backend(saved);
+  return r;
+}
+
 // 16-point Fig-4 sweep: the grid shape of the chaos-regime maps. Wall time
 // is the interesting number; events are not surfaced across workers.
 WorkloadResult run_sweep16(double scale, std::size_t jobs) {
@@ -247,6 +293,8 @@ void write_report(std::ostream& os, const std::vector<WorkloadResult>& results) 
        << ", \"packets\": " << w.packets
        << ", \"packets_per_sec\": " << fmt_num(w.packets_per_sec())
        << ", \"sim_seconds\": " << fmt_num(w.sim_seconds)
+       << ", \"flows\": " << w.flows
+       << ", \"bytes_per_flow\": " << fmt_num(w.bytes_per_flow)
        << ", \"gated\": " << (w.gated ? "true" : "false") << "}"
        << (i + 1 < results.size() ? "," : "") << "\n";
   }
@@ -255,21 +303,23 @@ void write_report(std::ostream& os, const std::vector<WorkloadResult>& results) 
 
 // Minimal scanner for reports this harness wrote: pulls one numeric field
 // out of the workload object whose "name" matches.
-bool baseline_metric(const std::string& json, const std::string& name,
-                     double* events_per_sec, double* packets_per_sec) {
+bool baseline_field(const std::string& json, const std::string& name,
+                    const std::string& field, double* out) {
   const std::string key = "\"name\": \"" + name + "\"";
   const auto at = json.find(key);
   if (at == std::string::npos) return false;
   const auto end = json.find('}', at);
   const std::string obj = json.substr(at, end - at);
-  const auto field = [&obj](const std::string& f, double* out) {
-    const auto pos = obj.find("\"" + f + "\": ");
-    if (pos == std::string::npos) return false;
-    *out = std::stod(obj.substr(pos + f.size() + 4));
-    return true;
-  };
-  return field("events_per_sec", events_per_sec) &&
-         field("packets_per_sec", packets_per_sec);
+  const auto pos = obj.find("\"" + field + "\": ");
+  if (pos == std::string::npos) return false;
+  *out = std::stod(obj.substr(pos + field.size() + 4));
+  return true;
+}
+
+bool baseline_metric(const std::string& json, const std::string& name,
+                     double* events_per_sec, double* packets_per_sec) {
+  return baseline_field(json, name, "events_per_sec", events_per_sec) &&
+         baseline_field(json, name, "packets_per_sec", packets_per_sec);
 }
 
 int compare_to_baseline(const std::vector<WorkloadResult>& results,
@@ -306,6 +356,27 @@ int compare_to_baseline(const std::vector<WorkloadResult>& results,
                    "(threshold %.0f%%)\n",
                    w.name.c_str(), (1.0 - ratio) * 100.0, threshold * 100.0);
       ++failures;
+    }
+    // Memory gate (incast): bytes/flow may not grow past the threshold.
+    // RSS deltas are coarser than throughput, so give it double headroom.
+    double base_bpf = 0.0;
+    if (w.bytes_per_flow > 0.0 &&
+        baseline_field(json, w.name, "bytes_per_flow", &base_bpf) &&
+        base_bpf > 0.0) {
+      const double growth = w.bytes_per_flow / base_bpf;
+      std::fprintf(stderr,
+                   "bench_perf_core: %-12s %12.3g bytes/flow vs baseline "
+                   "%12.3g (%+.1f%%)\n",
+                   w.name.c_str(), w.bytes_per_flow, base_bpf,
+                   (growth - 1.0) * 100.0);
+      if (growth > 1.0 + 2.0 * threshold) {
+        std::fprintf(stderr,
+                     "bench_perf_core: FAIL %s bytes/flow grew by %.1f%% "
+                     "(threshold %.0f%%)\n",
+                     w.name.c_str(), (growth - 1.0) * 100.0,
+                     2.0 * threshold * 100.0);
+        ++failures;
+      }
     }
   }
   return failures > 0 ? 1 : 0;
@@ -401,6 +472,7 @@ int main(int argc, char** argv) {
     p.duration_sec = 1000.0 * scale;
     return run_scenario_workload("red_wave", core::red_wave_scenario(p));
   }));
+  results.push_back(run_incast100k(scale));
   results.push_back(run_sweep16(scale, jobs));
 
   const std::string out = flags.get("out", "-");

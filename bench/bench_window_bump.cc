@@ -50,7 +50,7 @@ BumpOutcome run_bump(double tau, std::size_t buffer) {
   p.buffer_rev = net::QueueLimit::of(buffer);
   const core::DumbbellHandles h = core::build_dumbbell(exp, p);
 
-  std::vector<core::DumbbellConn> conns(2);
+  std::vector<core::ConnSpec> conns(2);
   conns[0].forward = true;
   conns[0].kind = tcp::SenderKind::kFixedWindow;
   conns[0].fixed_window = 1;
@@ -119,7 +119,7 @@ CounterfactualOutcome run_counterfactual() {
   p.buffer_fwd = net::QueueLimit::infinite();
   p.buffer_rev = net::QueueLimit::infinite();
   const core::DumbbellHandles h = core::build_dumbbell(exp, p);
-  std::vector<core::DumbbellConn> conns(2);
+  std::vector<core::ConnSpec> conns(2);
   conns[0].forward = true;
   conns[0].kind = tcp::SenderKind::kFixedWindow;
   conns[0].fixed_window = 30;

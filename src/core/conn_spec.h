@@ -26,7 +26,7 @@ struct ConnSpec {
   net::NodeId dst_id = net::kInvalidNode;
   bool forward = true;
 
-  // --- per-connection knobs (the former DumbbellConn fields) -----------
+  // --- per-connection knobs -----------------------------------------
   tcp::SenderKind kind = tcp::SenderKind::kTahoe;
   std::uint32_t fixed_window = 10;
   bool delayed_ack = false;
@@ -51,6 +51,14 @@ struct ConnSpec {
   std::size_t count = 1;
   sim::Time start_spread = sim::Time::zero();
   std::uint64_t seed = 0;
+
+  // Open-loop session churn: when arrival_rate > 0 the `count` flows arrive
+  // as a Poisson process (exponential inter-arrival gaps at `arrival_rate`
+  // flows/sec from the spec's own Rng stream, accumulated onto start_time;
+  // start_spread is ignored). Each session transmits for session_time and
+  // then stops — zero keeps the spec's stop_time (transmit forever).
+  double arrival_rate = 0.0;  // flows per second; 0 = closed population
+  sim::Time session_time = sim::Time::zero();
 
   // Copies the per-connection knobs (not endpoints or schedule) onto a
   // ConnectionConfig.

@@ -54,11 +54,6 @@ Topology dumbbell_topology(const DumbbellParams& params);
 // "reverse" in the ExperimentResult).
 DumbbellHandles build_dumbbell(Experiment& exp, const DumbbellParams& params);
 
-// Deprecated alias: the per-connection fields moved to the shared
-// core::ConnSpec (core/conn_spec.h), which dumbbell, chain, and Topology
-// traffic matrices all consume.
-using DumbbellConn [[deprecated("use core::ConnSpec")]] = ConnSpec;
-
 // Adds connections with ids 0..n-1 in order. Specs that leave src/dst unset
 // use the `forward` shorthand (true: Host-1 -> Host-2).
 void add_dumbbell_connections(Experiment& exp, const DumbbellHandles& handles,

@@ -22,6 +22,7 @@ tcp::Connection& Experiment::add_connection(
   if (ran_) throw std::logic_error("Experiment already ran");
   conns_.push_back(std::make_unique<tcp::Connection>(net_, config));
   tcp::Connection& conn = *conns_.back();
+  if (!instrument_flows_) return conn;  // flyweight: counters only
 
   // cwnd trace (adaptive controllers only): seed with the initial value at
   // start time so the step function is defined from the beginning. Every
@@ -35,11 +36,11 @@ tcp::Connection& Experiment::add_connection(
       if (trace_) trace_->cwnd_change(t, id, w, algo, tcp::to_string(why));
     };
   }
-  conn.sender().on_rtt_sample = [this, id = config.id](sim::Time t,
+  conn.sender().hooks().on_rtt_sample = [this, id = config.id](sim::Time t,
                                                        sim::Time rtt) {
     rtt_samples_[id].emplace_back(t.sec(), rtt.sec());
   };
-  conn.sender().on_loss_detected = [this, id = config.id](
+  conn.sender().hooks().on_loss_detected = [this, id = config.id](
                                        sim::Time t, tcp::LossSignal signal) {
     if (trace_ && signal == tcp::LossSignal::kTimeout) trace_->rto(t, id);
   };
@@ -58,19 +59,46 @@ void Experiment::monitor(net::NodeId from, net::NodeId to) {
   port->enable_busy_record();  // needed for the utilization report
   auto mp = std::make_unique<MonitoredPort>();
   mp->port = port;
-  mp->queue.record(0.0, 0.0);
   auto* raw = mp.get();
-  port->on_queue_change = [raw](sim::Time t, std::size_t len) {
-    raw->queue.record(t.sec(), static_cast<double>(len));
-  };
-  port->on_depart = [raw](sim::Time t, const net::Packet& p) {
-    raw->departures.push_back({t.sec(), p.conn, net::is_data(p)});
-  };
-  port->on_drop = [this, raw](sim::Time t, const net::Packet& p) {
-    drops_.push_back(
-        {t.sec(), p.conn, net::is_data(p), p.seq, raw->port->name()});
-  };
+  if (monitor_mode_ == MonitorMode::kStreaming) {
+    // O(1) per port: running queue stats only. Departures and per-drop
+    // events are skipped (the aggregate QueueCounters still count drops).
+    raw->stream.record(0.0, 0.0);
+    port->on_queue_change = [raw](sim::Time t, std::size_t len) {
+      raw->stream.record(t.sec(), static_cast<double>(len));
+    };
+  } else {
+    mp->queue.record(0.0, 0.0);
+    port->on_queue_change = [raw](sim::Time t, std::size_t len) {
+      raw->queue.record(t.sec(), static_cast<double>(len));
+    };
+    port->on_depart = [raw](sim::Time t, const net::Packet& p) {
+      raw->departures.push_back({t.sec(), p.conn, net::is_data(p)});
+    };
+    port->on_drop = [this, raw](sim::Time t, const net::Packet& p) {
+      drops_.push_back(
+          {t.sec(), p.conn, net::is_data(p), p.seq, raw->port->name()});
+    };
+  }
   monitored_.push_back(std::move(mp));
+}
+
+void Experiment::set_monitor_mode(MonitorMode mode) {
+  if (ran_) throw std::logic_error("Experiment already ran");
+  if (!monitored_.empty()) {
+    throw std::logic_error("set_monitor_mode must precede monitor()");
+  }
+  monitor_mode_ = mode;
+}
+
+void Experiment::set_flow_instrumentation(bool on) {
+  if (ran_) throw std::logic_error("Experiment already ran");
+  instrument_flows_ = on;
+}
+
+sim::Timer& Experiment::add_timer() {
+  timers_.emplace_back(sim_);
+  return timers_.back();
 }
 
 void Experiment::set_audit_mode(AuditMode mode) {
@@ -119,10 +147,20 @@ ExperimentResult Experiment::run(sim::Time warmup, sim::Time duration) {
   for (auto& mp : monitored_) {
     PortTrace pt;
     pt.name = mp->port->name();
-    pt.queue = std::move(mp->queue);
     pt.utilization = mp->port->utilization(warmup, end);
     pt.counters = mp->port->counters();
-    pt.departures = std::move(mp->departures);
+    if (monitor_mode_ == MonitorMode::kStreaming) {
+      pt.streaming = true;
+      pt.queue_summary = mp->stream.summary();
+      if (pt.queue_summary.count > 0) {
+        // Extend the last step to the end of the run so the time-weighted
+        // mean covers the same span the TimeSeries mean would.
+        pt.queue_summary.mean = mp->stream.time_weighted_mean_until(end.sec());
+      }
+    } else {
+      pt.queue = std::move(mp->queue);
+      pt.departures = std::move(mp->departures);
+    }
     r.ports.push_back(std::move(pt));
   }
   if (!r.ports.empty() && !conns_.empty()) {

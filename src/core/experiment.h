@@ -5,6 +5,8 @@
 // bench harnesses consume.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <ostream>
@@ -15,7 +17,9 @@
 #include "core/event_trace.h"
 #include "net/network.h"
 #include "sim/simulator.h"
+#include "sim/timer.h"
 #include "tcp/connection.h"
+#include "util/streaming_series.h"
 #include "util/time_series.h"
 
 namespace tcpdyn::core {
@@ -47,7 +51,18 @@ struct PortTrace {
   // which in two-way traffic mixes one connection's data with the other's
   // ACKs in the same queue.
   std::vector<Departure> departures;
+  // Streaming monitor mode: `queue` and `departures` stay empty (memory is
+  // independent of run length) and this summary carries the queue
+  // statistics instead. `streaming` says which representation is filled.
+  bool streaming = false;
+  util::StreamingSummary queue_summary;
 };
+
+// How monitored ports record their traces. kFull keeps the exact queue
+// TimeSeries, every departure, and every drop event — memory grows with run
+// length. kStreaming keeps O(1) state per port (util::StreamingSeries) and
+// aggregate counters only, so a million-flow run's monitors stay flat.
+enum class MonitorMode : std::uint8_t { kFull, kStreaming };
 
 struct ExperimentResult {
   double t_start = 0.0;       // measurement window start (sec)
@@ -89,6 +104,25 @@ class Experiment {
   // Ports are reported in ExperimentResult::ports in monitor() call order.
   void monitor(net::NodeId from, net::NodeId to);
 
+  // Selects the monitor representation (default kFull). Must be called
+  // before the first monitor() — the recording hooks are chosen per port at
+  // monitor() time.
+  void set_monitor_mode(MonitorMode mode);
+  MonitorMode monitor_mode() const { return monitor_mode_; }
+
+  // When off, add_connection skips the per-flow hooks (cwnd trace, RTT
+  // samples, loss events, ACK arrivals at the source host): flows carry
+  // aggregate SenderCounters only. The flyweight setting for runs whose
+  // flow count makes per-flow traces unaffordable; applies to connections
+  // added after the call.
+  void set_flow_instrumentation(bool on);
+  bool flow_instrumentation() const { return instrument_flows_; }
+
+  // A one-shot timer owned by this experiment, bound to its simulator —
+  // the RAII home for scripted interventions (fault plans). References
+  // stay valid for the experiment's lifetime.
+  sim::Timer& add_timer();
+
   // Strength of the conservation check run() performs (default: kFull in
   // Debug builds, kCounters otherwise). run() throws std::logic_error if
   // the check finds a violation.
@@ -111,6 +145,8 @@ class Experiment {
     net::OutputPort* port;
     util::TimeSeries queue;
     std::vector<Departure> departures;
+    // Streaming mode: fixed-memory stats + a short tail of recent points.
+    util::StreamingSeries stream{64};
   };
 
   void hook_host(net::NodeId host_id);
@@ -124,6 +160,9 @@ class Experiment {
   std::map<net::ConnId, std::vector<double>> ack_arrivals_;
   std::map<net::ConnId, std::vector<std::pair<double, double>>> rtt_samples_;
   std::vector<net::NodeId> hooked_hosts_;
+  std::deque<sim::Timer> timers_;  // deque: stable references as it grows
+  MonitorMode monitor_mode_ = MonitorMode::kFull;
+  bool instrument_flows_ = true;
   AuditMode audit_mode_ = kDefaultAuditMode;
   std::unique_ptr<Audit> audit_;
   std::unique_ptr<EventTrace> trace_;

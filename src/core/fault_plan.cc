@@ -251,6 +251,10 @@ void FaultPlan::apply(Experiment& exp, const CompiledTopology& topo) const {
                                 util::mix_seed(seed_, k));
   }
 
+  // Scripted interventions ride on experiment-owned RAII timers: the
+  // Experiment outlives every shot, and arm_at preserves schedule order (one
+  // schedule_at per intervention, in declaration order), so runs are byte
+  // identical to the former raw schedule_at calls.
   for (const LinkOutage& o : outages_) {
     for (net::OutputPort* port : resolve_ports(exp, topo, o.link)) {
       auto down = [port, policy = o.policy] {
@@ -259,11 +263,11 @@ void FaultPlan::apply(Experiment& exp, const CompiledTopology& topo) const {
       };
       static_assert(sim::Scheduler::Action::fits<decltype(down)>,
                     "link-down event must not heap-allocate");
-      exp.sim().schedule_at(o.at, std::move(down));
+      exp.add_timer().arm_at(o.at, std::move(down));
       auto up = [port] { port->set_link_up(true); };
       static_assert(sim::Scheduler::Action::fits<decltype(up)>,
                     "link-up event must not heap-allocate");
-      exp.sim().schedule_at(o.at + o.duration, std::move(up));
+      exp.add_timer().arm_at(o.at + o.duration, std::move(up));
     }
   }
   for (const RateChange& c : rate_changes_) {
@@ -271,7 +275,7 @@ void FaultPlan::apply(Experiment& exp, const CompiledTopology& topo) const {
       auto change = [port, bps = c.bits_per_second] { port->set_rate(bps); };
       static_assert(sim::Scheduler::Action::fits<decltype(change)>,
                     "rate-change event must not heap-allocate");
-      exp.sim().schedule_at(c.at, std::move(change));
+      exp.add_timer().arm_at(c.at, std::move(change));
     }
   }
   for (const DelayChange& c : delay_changes_) {
@@ -281,7 +285,7 @@ void FaultPlan::apply(Experiment& exp, const CompiledTopology& topo) const {
       };
       static_assert(sim::Scheduler::Action::fits<decltype(change)>,
                     "delay-change event must not heap-allocate");
-      exp.sim().schedule_at(c.at, std::move(change));
+      exp.add_timer().arm_at(c.at, std::move(change));
     }
   }
 }

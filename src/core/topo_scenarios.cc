@@ -16,6 +16,8 @@ Scenario make_topo_scenario(const TopoSpec& spec) {
   s.duration = spec.duration;
   s.epoch_gap_sec = spec.epoch_gap_sec;
   s.tahoe_connections = spec.traffic.adaptive_flow_count();
+  s.exp->set_monitor_mode(spec.monitor_mode);
+  s.exp->set_flow_instrumentation(spec.per_flow_traces);
   const CompiledTopology c = spec.topo.compile(*s.exp);
   spec.traffic.instantiate(*s.exp, c);
   // Faults last: impairments attach now; outages and parameter changes
@@ -268,6 +270,57 @@ Scenario parking_lot_scenario(const ParkingLotParams& p) {
     spec.traffic.add(std::move(cross));
   }
   return make_topo_scenario(spec);
+}
+
+// ------------------------------------------------------ datacenter incast
+
+Topology incast_topology(const IncastParams& p) {
+  if (p.senders < 1) {
+    throw std::invalid_argument("incast needs at least 1 sender");
+  }
+  Topology t;
+  const std::size_t sw = t.add_switch("T");
+  const std::size_t sink = t.add_host("R");
+  t.add_link(sw, sink, p.link_bps, sim::Time::seconds(p.link_delay_sec),
+             net::QueueLimit::of(p.buffer));
+  for (std::size_t i = 0; i < p.senders; ++i) {
+    t.add_link(t.add_host("S" + std::to_string(i + 1)), sw, p.access_bps,
+               sim::Time::seconds(p.access_delay_sec));
+  }
+  t.monitor(sw, sink);   // the fan-in queue
+  t.monitor(sink, sw);   // the ACK path back out
+  return t;
+}
+
+TopoSpec incast_spec(const IncastParams& p) {
+  TopoSpec spec;
+  spec.name = "incast";
+  spec.topo = incast_topology(p);
+  spec.warmup = sim::Time::seconds(p.warmup_sec);
+  spec.duration = sim::Time::seconds(p.duration_sec);
+  spec.monitor_mode =
+      p.streaming ? MonitorMode::kStreaming : MonitorMode::kFull;
+  spec.per_flow_traces = p.per_flow_traces;
+  for (std::size_t i = 0; i < p.senders; ++i) {
+    ConnSpec c;
+    c.src = "S" + std::to_string(i + 1);
+    c.dst = "R";
+    c.kind = p.cc;
+    c.count = p.flows_per_sender;
+    c.seed = util::mix_seed(p.seed, i);
+    if (p.arrival_rate > 0.0) {
+      c.arrival_rate = p.arrival_rate;
+      c.session_time = sim::Time::seconds(p.session_sec);
+    } else {
+      c.start_spread = sim::Time::seconds(p.start_spread_sec);
+    }
+    spec.traffic.add(std::move(c));
+  }
+  return spec;
+}
+
+Scenario incast_scenario(const IncastParams& p) {
+  return make_topo_scenario(incast_spec(p));
 }
 
 // --------------------------------------------------------------- Waxman

@@ -123,6 +123,41 @@ struct ParkingLotParams {
 Topology parking_lot_topology(const ParkingLotParams& params);
 Scenario parking_lot_scenario(const ParkingLotParams& params);
 
+// --- datacenter incast: N-to-1 fan-in with open-loop session churn --------
+// `senders` hosts on one switch all transmit to a single sink host behind
+// the switch's one egress link — the shared queue every flow's data funnels
+// through. Each sender contributes `flows_per_sender` sessions; with
+// arrival_rate > 0 the sessions arrive open-loop as independent Poisson
+// streams (one per sender, so the aggregate is Poisson at senders * rate)
+// and each transmits for session_sec before stopping — the flow-churn
+// regime where most of the population is idle at any instant and total
+// flow count is bounded only by memory. arrival_rate == 0 falls back to a
+// closed population jittered over start_spread_sec.
+struct IncastParams {
+  std::size_t senders = 64;          // fan-in width (hosts on the switch)
+  std::size_t flows_per_sender = 4;  // sessions per sender host
+  std::int64_t link_bps = 1'000'000;  // the shared egress link
+  double link_delay_sec = 500e-6;
+  std::size_t buffer = 64;           // egress buffer (packets)
+  std::int64_t access_bps = 10'000'000;
+  double access_delay_sec = 100e-6;
+  double arrival_rate = 0.0;         // per-sender sessions/sec; 0 = closed
+  double session_sec = 0.0;          // per-session transmit time; 0 = forever
+  tcp::CcAlgorithm cc = tcp::CcAlgorithm::kTahoe;
+  std::uint64_t seed = 22;
+  double start_spread_sec = 5.0;     // closed-population jitter
+  double warmup_sec = 10.0;
+  double duration_sec = 60.0;
+  // Scale knobs (see TopoSpec): streaming monitors and per-flow traces off
+  // keep experiment memory flat in the flow count.
+  bool streaming = false;
+  bool per_flow_traces = true;
+};
+
+Topology incast_topology(const IncastParams& params);
+TopoSpec incast_spec(const IncastParams& params);
+Scenario incast_scenario(const IncastParams& params);
+
 // --- Waxman: random geometric mesh ----------------------------------------
 // Switches at random unit-square coordinates, wired as a random spanning
 // tree (guaranteeing connectivity) plus extra links taken with the Waxman

@@ -227,12 +227,19 @@ std::size_t TrafficMatrix::instantiate_impl(
     const net::NodeId src = resolve(s.src_id, s.src, "src");
     const net::NodeId dst = resolve(s.dst_id, s.dst, "dst");
     util::Rng rng(s.seed);
+    double arrival_sec = 0.0;  // accumulated Poisson inter-arrival gaps
     for (std::size_t j = 0; j < s.count; ++j) {
       tcp::ConnectionConfig cfg = s.to_config();
       cfg.id = next_id++;
       cfg.src_host = src;
       cfg.dst_host = dst;
-      if (s.start_spread > sim::Time::zero()) {
+      if (s.arrival_rate > 0.0) {
+        arrival_sec += rng.exponential(s.arrival_rate);
+        cfg.start_time = s.start_time + sim::Time::seconds(arrival_sec);
+        if (s.session_time > sim::Time::zero()) {
+          cfg.stop_time = cfg.start_time + s.session_time;
+        }
+      } else if (s.start_spread > sim::Time::zero()) {
         cfg.start_time =
             s.start_time +
             sim::Time::seconds(rng.uniform(0.0, s.start_spread.sec()));
@@ -321,10 +328,17 @@ TopoSpec parse_topology(std::istream& in) {
       l.buffer_ab = to_buffer(args[4], lineno);
       l.buffer_ba = to_buffer(args[5], lineno);
       if (args.size() > 6) {
+        std::optional<net::QdiscKind> kind;
         bool ecn = false;
-        const auto kind = net::parse_qdisc(args[6], &ecn);
-        if (!kind) {
-          parse_error(lineno, "unknown queue discipline '" + args[6] + "'");
+        // The registry supplies the did-you-mean error text; tag it with
+        // the .topo line number.
+        try {
+          const net::QdiscChoice& choice =
+              net::qdisc_registry().require(args[6], "queue discipline");
+          kind = choice.kind;
+          ecn = choice.ecn;
+        } catch (const std::invalid_argument& e) {
+          parse_error(lineno, e.what());
         }
         if (*kind == net::QdiscKind::kDropTail ||
             *kind == net::QdiscKind::kRandomDrop) {
@@ -398,12 +412,13 @@ TopoSpec parse_topology(std::istream& in) {
         if (key == "count") {
           c.count = static_cast<std::size_t>(to_int(val, lineno, key));
         } else if (key == "kind") {
-          // Full CcAlgorithm zoo: tahoe|reno|newreno|cubic|vegas|bbr|fixed.
-          const auto algo = tcp::parse_cc(val);
-          if (!algo) {
-            parse_error(lineno, "unknown sender kind '" + val + "'");
+          // Full CcAlgorithm zoo, straight from the registry (with
+          // did-you-mean errors tagged with the .topo line number).
+          try {
+            c.kind = tcp::cc_registry().require(val, "sender kind");
+          } catch (const std::invalid_argument& e) {
+            parse_error(lineno, e.what());
           }
-          c.kind = *algo;
         } else if (key == "window") {
           c.fixed_window = static_cast<std::uint32_t>(to_int(val, lineno, key));
         } else if (key == "start") {
@@ -422,6 +437,14 @@ TopoSpec parse_topology(std::istream& in) {
           c.ecn = to_int(val, lineno, key) != 0;
         } else if (key == "pacing") {
           c.pacing_interval = sim::Time::seconds(to_double(val, lineno, key));
+        } else if (key == "rate") {
+          // Open-loop Poisson session arrivals (flows/sec); see ConnSpec.
+          c.arrival_rate = to_double(val, lineno, key);
+          if (c.arrival_rate < 0.0) {
+            parse_error(lineno, "rate must be >= 0");
+          }
+        } else if (key == "session") {
+          c.session_time = sim::Time::seconds(to_double(val, lineno, key));
         } else if (key == "data") {
           c.data_bytes = static_cast<std::uint32_t>(to_int(val, lineno, key));
         } else if (key == "ack") {

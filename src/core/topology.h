@@ -160,6 +160,12 @@ struct TopoSpec {
   sim::Time duration = sim::Time::seconds(400.0);
   double epoch_gap_sec = 2.0;
   std::uint64_t seed = 1;  // base seed for specs without an explicit seed
+  // Large-scale knobs, applied to the Experiment before the topology is
+  // compiled and the traffic instantiated: streaming monitors keep O(1)
+  // state per port, and turning per-flow traces off leaves flows with
+  // aggregate counters only (see Experiment::set_flow_instrumentation).
+  MonitorMode monitor_mode = MonitorMode::kFull;
+  bool per_flow_traces = true;
 };
 
 // Parses the text topology format (see examples/topos/*.topo):
@@ -174,6 +180,10 @@ struct TopoSpec {
 //   flow SRC DST [count=N] [kind=tahoe|reno|fixed] [window=W] [start=SEC]
 //        [spread=SEC] [stop=SEC] [seed=N] [maxwnd=W] [delayed_ack=0|1]
 //        [ecn=0|1] [pacing=SEC] [data=BYTES] [ack=BYTES]
+//        [rate=PER_SEC] [session=SEC]
+//                              rate > 0 turns the count flows into an
+//                              open-loop Poisson session process (see
+//                              ConnSpec::arrival_rate)
 //   fault down|rate|delay|loss|gilbert|corrupt|reorder|seed ...
 //                              mid-run link events (see core/fault_plan.h)
 //   warmup SEC | duration SEC | epoch_gap SEC | seed N

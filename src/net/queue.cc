@@ -305,17 +305,30 @@ std::unique_ptr<QueueDiscipline> make_qdisc(const QdiscConfig& config,
   return nullptr;
 }
 
+const util::Registry<QdiscChoice>& qdisc_registry() {
+  static const util::Registry<QdiscChoice> reg = [] {
+    util::Registry<QdiscChoice> r;
+    r.add("droptail", {QdiscKind::kDropTail, false},
+          "drop arrivals when the buffer is full (paper default)")
+        .add("randomdrop", {QdiscKind::kRandomDrop, false},
+             "discard a uniformly chosen occupant, admit the arrival")
+        .add("red", {QdiscKind::kRed, false},
+             "Random Early Detection on the EWMA queue length")
+        .add("red-ecn", {QdiscKind::kRed, true},
+             "RED that ECN-marks ECT packets instead of dropping")
+        .add("drr", {QdiscKind::kDrr, false},
+             "Deficit Round Robin fair queueing, one FIFO per flow");
+    return r;
+  }();
+  return reg;
+}
+
 std::optional<QdiscKind> parse_qdisc(std::string_view s, bool* ecn) {
   if (ecn != nullptr) *ecn = false;
-  if (s == "droptail") return QdiscKind::kDropTail;
-  if (s == "randomdrop") return QdiscKind::kRandomDrop;
-  if (s == "red") return QdiscKind::kRed;
-  if (s == "red-ecn") {
-    if (ecn != nullptr) *ecn = true;
-    return QdiscKind::kRed;
-  }
-  if (s == "drr") return QdiscKind::kDrr;
-  return std::nullopt;
+  const QdiscChoice* choice = qdisc_registry().find(s);
+  if (choice == nullptr) return std::nullopt;
+  if (ecn != nullptr) *ecn = choice->ecn;
+  return choice->kind;
 }
 
 const char* to_string(QdiscKind kind) {

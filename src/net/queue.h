@@ -44,6 +44,7 @@
 #include "net/fault.h"
 #include "net/packet.h"
 #include "net/packet_ring.h"
+#include "util/registry.h"
 #include "util/rng.h"
 
 namespace tcpdyn::net {
@@ -372,8 +373,19 @@ struct QdiscConfig {
 std::unique_ptr<QueueDiscipline> make_qdisc(const QdiscConfig& config,
                                             std::uint64_t seed);
 
-// Parses a discipline name: droptail | randomdrop | red | red-ecn | drr.
-// red-ecn is red with RedParams::ecn set. Returns nullopt on unknown names.
+// One registry row: the discipline plus any name-implied option ("red-ecn"
+// is red with ECN marking on).
+struct QdiscChoice {
+  QdiscKind kind = QdiscKind::kDropTail;
+  bool ecn = false;
+};
+
+// The single name<->discipline table: powers --qdisc flags, .topo link
+// stanzas, --help enumeration, and did-you-mean errors (require()).
+const util::Registry<QdiscChoice>& qdisc_registry();
+
+// Thin wrapper over qdisc_registry().find(); nullopt on unknown names.
+// When `ecn` is non-null it receives the name-implied ECN setting.
 std::optional<QdiscKind> parse_qdisc(std::string_view s, bool* ecn = nullptr);
 const char* to_string(QdiscKind kind);
 

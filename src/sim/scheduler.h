@@ -11,12 +11,23 @@
 // Cancelled events leave a tombstone in the heap that is dropped lazily when
 // it surfaces, with a compaction sweep bounding tombstone build-up under
 // cancel-heavy workloads.
+//
+// Two backends share this slab (selected per instance, default process-wide
+// via sim::set_default_timer_backend):
+//   kSlab  — every event lives in the binary heap (the original layout).
+//   kWheel — far-future events are staged on a hierarchical timer wheel
+//            (O(1) arm/cancel, no tombstones) and are merged into the heap
+//            only when the wheel cursor reaches their slot. The heap uses
+//            the same (time, seq) comparator either way and every entry is
+//            merged before it could become the minimum, so dispatch order is
+//            byte-identical between backends (ctest-gated).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "sim/time.h"
+#include "sim/timer_wheel.h"
 #include "util/inline_function.h"
 
 namespace tcpdyn::sim {
@@ -57,6 +68,11 @@ class Scheduler {
  public:
   using Action = util::InlineAction<kActionInlineCapacity>;
 
+  explicit Scheduler(TimerBackend backend = default_timer_backend())
+      : backend_(backend) {}
+
+  TimerBackend backend() const { return backend_; }
+
   // Enqueues `action` to run at absolute time `at`. `at` must be >= the time
   // of the last event popped.
   EventHandle schedule_at(Time at, Action action);
@@ -80,11 +96,18 @@ class Scheduler {
 
   // One slab slot. `generation` advances every time the slot's event is
   // cancelled or fired, invalidating outstanding handles and heap entries
-  // that still reference the old incarnation.
+  // that still reference the old incarnation. The wheel_* fields thread the
+  // slot into a timer-wheel bucket's doubly-linked list (kWheel backend
+  // only; `bucket == kNoBucket` means the event lives in the heap).
   struct Slot {
     Action action;
+    Time at;                 // wheel only: absolute firing time
+    std::uint64_t seq = 0;   // wheel only: insertion sequence for FIFO ties
     std::uint32_t generation = 0;
     std::uint32_t next_free = kNilSlot;
+    std::uint32_t wheel_prev = kNilSlot;
+    std::uint32_t wheel_next = kNilSlot;
+    std::uint16_t bucket = TimerWheelState::kNoBucket;
   };
 
   // Heap key: POD, ordered by (at, seq) so moves during sift are cheap and
@@ -118,11 +141,24 @@ class Scheduler {
   // O(1) per cancel, and order-preserving (the comparator is a total order).
   void maybe_compact();
 
+  // kWheel backend. Invariant between calls: every live event whose time is
+  // below the wheel cursor is in the heap, so a heap front strictly below
+  // the cursor is the global minimum.
+  void wheel_insert(std::uint32_t slot);         // buckets slots_[slot] by its at
+  void wheel_unlink(std::uint32_t slot);         // O(1) removal (cancel path)
+  void wheel_settle();                           // restore the invariant
+  void wheel_advance_step();                     // consume/cascade one bucket
+  void wheel_consume_level0(int idx);            // bucket -> dispatch heap
+  void wheel_cascade(int level, int idx);        // bucket -> lower levels
+  void wheel_far_jump();                         // re-bucket beyond-horizon set
+
   std::vector<Entry> heap_;
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNilSlot;
   std::uint64_t next_seq_ = 0;
   std::size_t live_events_ = 0;
+  TimerBackend backend_ = TimerBackend::kSlab;
+  TimerWheelState wheel_;
 };
 
 }  // namespace tcpdyn::sim

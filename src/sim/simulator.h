@@ -12,11 +12,13 @@ namespace tcpdyn::sim {
 
 class Simulator {
  public:
-  Simulator() = default;
+  explicit Simulator(TimerBackend backend = default_timer_backend())
+      : scheduler_(backend) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   Time now() const { return now_; }
+  TimerBackend timer_backend() const { return scheduler_.backend(); }
 
   // Schedules `action` to run `delay` after now. Negative delays are clamped
   // to zero (runs "immediately", after currently queued same-time events).

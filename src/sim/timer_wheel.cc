@@ -1,0 +1,29 @@
+#include "sim/timer_wheel.h"
+
+namespace tcpdyn::sim {
+
+namespace {
+TimerBackend g_default_backend = TimerBackend::kSlab;
+}  // namespace
+
+TimerBackend default_timer_backend() { return g_default_backend; }
+
+void set_default_timer_backend(TimerBackend backend) {
+  g_default_backend = backend;
+}
+
+std::optional<TimerBackend> parse_timer_backend(std::string_view name) {
+  if (name == "slab") return TimerBackend::kSlab;
+  if (name == "wheel") return TimerBackend::kWheel;
+  return std::nullopt;
+}
+
+const char* to_string(TimerBackend backend) {
+  switch (backend) {
+    case TimerBackend::kSlab: return "slab";
+    case TimerBackend::kWheel: return "wheel";
+  }
+  return "?";
+}
+
+}  // namespace tcpdyn::sim

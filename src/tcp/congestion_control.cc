@@ -24,15 +24,33 @@ const char* to_string(CcAlgorithm algo) {
   return "?";
 }
 
+const util::Registry<CcAlgorithm>& cc_registry() {
+  static const util::Registry<CcAlgorithm> reg = [] {
+    util::Registry<CcAlgorithm> r;
+    r.add("tahoe", CcAlgorithm::kTahoe,
+          "slow start + congestion avoidance, retransmit on loss (the paper's"
+          " sender)")
+        .add("reno", CcAlgorithm::kReno,
+             "Tahoe + fast recovery (halve, don't collapse, on dup-ACK loss)")
+        .add("newreno", CcAlgorithm::kNewReno,
+             "Reno + partial-ACK retransmit and SACK-based loss recovery")
+        .add("cubic", CcAlgorithm::kCubic,
+             "cubic window growth anchored at the last loss point")
+        .add("vegas", CcAlgorithm::kVegas,
+             "delay-based: backs off on rising RTT before losses occur")
+        .add("bbr", CcAlgorithm::kBbr,
+             "model-based: paces from a bandwidth x RTT-min estimate")
+        .add("fixed", CcAlgorithm::kFixedWindow,
+             "constant window, no congestion reaction (Figs. 8-9 control)");
+    return r;
+  }();
+  return reg;
+}
+
 std::optional<CcAlgorithm> parse_cc(const std::string& name) {
-  if (name == "tahoe") return CcAlgorithm::kTahoe;
-  if (name == "reno") return CcAlgorithm::kReno;
-  if (name == "newreno") return CcAlgorithm::kNewReno;
-  if (name == "cubic") return CcAlgorithm::kCubic;
-  if (name == "vegas") return CcAlgorithm::kVegas;
-  if (name == "bbr") return CcAlgorithm::kBbr;
-  if (name == "fixed") return CcAlgorithm::kFixedWindow;
-  return std::nullopt;
+  const CcAlgorithm* v = cc_registry().find(name);
+  if (v == nullptr) return std::nullopt;
+  return *v;
 }
 
 const char* to_string(CcEvent ev) {

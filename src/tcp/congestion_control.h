@@ -36,6 +36,7 @@
 #include <string>
 
 #include "sim/time.h"
+#include "util/registry.h"
 
 namespace tcpdyn::tcp {
 
@@ -58,8 +59,13 @@ enum class CcAlgorithm : std::uint8_t {
 using SenderKind = CcAlgorithm;
 
 const char* to_string(CcAlgorithm algo);
-// Parses "tahoe|reno|newreno|cubic|vegas|bbr|fixed"; nullopt for anything
-// else.
+
+// The single name<->algorithm table: powers the --cc flags, .topo `kind=`
+// stanzas, sweep grids, --help enumeration, and did-you-mean errors
+// (require()). Registration order is presentation order.
+const util::Registry<CcAlgorithm>& cc_registry();
+
+// Thin wrapper over cc_registry().find(); nullopt for unknown names.
 std::optional<CcAlgorithm> parse_cc(const std::string& name);
 
 // Why a window change fired, for the trace layer's per-algorithm

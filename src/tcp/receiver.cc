@@ -6,7 +6,7 @@
 namespace tcpdyn::tcp {
 
 Receiver::Receiver(sim::Simulator& sim, net::Host& host, ReceiverParams params)
-    : sim_(sim), host_(host), params_(params) {
+    : sim_(sim), host_(host), params_(params), delayed_timer_(sim) {
   host_.register_endpoint(params_.conn, net::PacketKind::kData, this);
 }
 
@@ -125,7 +125,7 @@ void Receiver::fill_sack_blocks(net::Packet& ack) const {
 
 void Receiver::arm_delayed_ack_timer() {
   if (delayed_timer_.pending()) return;
-  delayed_timer_ = sim_.schedule(params_.delayed_ack_timeout, [this] {
+  delayed_timer_.arm(params_.delayed_ack_timeout, [this] {
     if (unacked_arrivals_ > 0) send_ack();
   });
 }

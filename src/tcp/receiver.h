@@ -12,6 +12,7 @@
 #include "net/host.h"
 #include "net/packet.h"
 #include "sim/simulator.h"
+#include "sim/timer.h"
 
 namespace tcpdyn::tcp {
 
@@ -71,7 +72,7 @@ class Receiver : public net::PacketSink {
   bool ece_pending_ = false;
   // Delayed-ACK state: number of data packets received since the last ACK.
   std::uint32_t unacked_arrivals_ = 0;
-  sim::EventHandle delayed_timer_;
+  sim::Timer delayed_timer_;
 };
 
 }  // namespace tcpdyn::tcp

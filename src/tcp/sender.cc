@@ -13,10 +13,18 @@ WindowSender::WindowSender(sim::Simulator& sim, net::Host& host,
       host_(host),
       params_(params),
       cc_(std::move(cc)),
-      rtt_(params.rtt) {
+      rtt_(params.rtt),
+      rto_timer_(sim),
+      pacing_timer_(sim) {
   assert(cc_ != nullptr);
   cc_->bind(this, CcEnv{params_.maxwnd, params_.dupack_threshold});
+  if (cc_->wants_sack()) scoreboard_ = std::make_unique<SackScoreboard>();
   host_.register_endpoint(params_.conn, net::PacketKind::kAck, this);
+}
+
+const SackScoreboard& WindowSender::scoreboard() const {
+  static const SackScoreboard kEmpty;
+  return scoreboard_ ? *scoreboard_ : kEmpty;
 }
 
 void WindowSender::start(sim::Time at) {
@@ -53,7 +61,7 @@ void WindowSender::deliver(const net::Packet& ack) {
   const bool sack_mode = cc_->wants_sack();
   if (sack_mode) {
     for (std::uint8_t i = 0; i < ack.sack_count; ++i) {
-      scoreboard_.mark(ack.sack[i].start, ack.sack[i].end);
+      scoreboard_->mark(ack.sack[i].start, ack.sack[i].end);
     }
   }
   if (ack.ack > snd_una_) {
@@ -71,7 +79,7 @@ void WindowSender::deliver(const net::Packet& ack) {
       timing_ = false;
       ctx.rtt_valid = true;
       ctx.rtt = rtt;
-      if (on_rtt_sample) on_rtt_sample(sim_.now(), rtt);
+      if (hooks_ && hooks_->on_rtt_sample) hooks_->on_rtt_sample(sim_.now(), rtt);
     }
     if (snd_nxt_ < snd_una_) snd_nxt_ = snd_una_;
     // Delivery accounting for model-based controllers: with an infinite
@@ -84,13 +92,13 @@ void WindowSender::deliver(const net::Packet& ack) {
     rto_timer_.cancel();
     if (outstanding() > 0) arm_rto();
     if (sack_mode) {
-      scoreboard_.ack_to(snd_una_);
+      scoreboard_->ack_to(snd_una_);
       if (in_sack_recovery_) {
         ctx.in_recovery = true;
         if (snd_una_ >= recover_) {
           // Full ACK: the recovery point is covered; recovery ends.
           in_sack_recovery_ = false;
-          scoreboard_.clear();
+          scoreboard_->clear();
           sack_retx_high_ = 0;
         } else {
           ctx.partial = true;
@@ -153,15 +161,10 @@ void WindowSender::schedule_paced_send() {
   // ACK-clocked sends (and controllers whose pacing_interval changes
   // mid-flight, e.g. BBR's gain cycling) advance next_pacing_slot_ while a
   // timer armed for the old slot is still outstanding; keeping it would
-  // leave a stale no-op wakeup firing every interval. Re-arm instead.
-  if (pacing_timer_.pending() && pacing_deadline_ == next_pacing_slot_) {
-    return;
-  }
-  pacing_timer_.cancel();
-  pacing_deadline_ = next_pacing_slot_;
-  pacing_timer_ = sim_.schedule_at(next_pacing_slot_, [this] {
-    send_available();
-  });
+  // leave a stale no-op wakeup firing every interval. rearm_at is exactly
+  // that dedup: no-op when a shot for this slot is pending, cancel+re-arm
+  // otherwise.
+  pacing_timer_.rearm_at(next_pacing_slot_, [this] { send_available(); });
 }
 
 void WindowSender::send_packet(std::uint32_t seq) {
@@ -196,15 +199,15 @@ void WindowSender::send_packet(std::uint32_t seq) {
   }
   if (!rto_timer_.pending()) arm_rto();
   cc_->on_sent(sim_.now(), seq, pkt.size_bytes, pkt.retransmit);
-  if (on_send) on_send(sim_.now(), pkt);
+  if (hooks_ && hooks_->on_send) hooks_->on_send(sim_.now(), pkt);
   host_.send(std::move(pkt));
 }
 
 void WindowSender::retransmit_next_hole() {
-  if (scoreboard_.empty()) return;
+  if (scoreboard_->empty()) return;
   const std::uint32_t from =
       snd_una_ > sack_retx_high_ ? snd_una_ : sack_retx_high_;
-  const auto hole = scoreboard_.next_hole(from);
+  const auto hole = scoreboard_->next_hole(from);
   if (!hole || *hole >= snd_nxt_) return;
   send_packet(*hole);
   sack_retx_high_ = *hole + 1;
@@ -219,7 +222,7 @@ void WindowSender::loss_detected(LossSignal signal) {
     rtt_.backoff();
   }
   timing_ = false;  // Karn: abandon the in-progress RTT measurement
-  if (on_loss_detected) on_loss_detected(sim_.now(), signal);
+  if (hooks_ && hooks_->on_loss_detected) hooks_->on_loss_detected(sim_.now(), signal);
   if (signal == LossSignal::kDupAcks) {
     cc_->on_dup_ack_loss(sim_.now());
     if (cc_->wants_sack()) {
@@ -231,7 +234,7 @@ void WindowSender::loss_detected(LossSignal signal) {
     cc_->on_timeout(sim_.now());
     // Timeout abandons scoreboard recovery: go-back-N resends everything.
     in_sack_recovery_ = false;
-    scoreboard_.clear();
+    if (scoreboard_) scoreboard_->clear();
     sack_retx_high_ = 0;
   }
   rto_timer_.cancel();
@@ -252,8 +255,8 @@ void WindowSender::loss_detected(LossSignal signal) {
 }
 
 void WindowSender::arm_rto() {
-  rto_timer_.cancel();
-  rto_timer_ = sim_.schedule(rtt_.rto(), [this] {
+  // Timer::arm replaces any pending shot, so the manual cancel is gone.
+  rto_timer_.arm(rtt_.rto(), [this] {
     if (outstanding() > 0) loss_detected(LossSignal::kTimeout);
   });
 }

@@ -26,6 +26,7 @@
 #include "net/host.h"
 #include "net/packet.h"
 #include "sim/simulator.h"
+#include "sim/timer.h"
 #include "tcp/congestion_control.h"
 #include "tcp/rtt_estimator.h"
 #include "tcp/sack.h"
@@ -48,6 +49,17 @@ struct SenderParams {
   // of a connection must agree (ConnectionConfig::ecn sets both).
   bool ecn = false;
   RttParams rtt;
+};
+
+// Tracing callbacks. Most flows are never traced, so the sender allocates
+// this block only when a caller first touches hooks() — at 100k+ flows three
+// empty std::functions per sender are real memory.
+struct SenderHooks {
+  std::function<void(sim::Time, const net::Packet&)> on_send;
+  std::function<void(sim::Time, LossSignal)> on_loss_detected;
+  // Fired for every accepted RTT measurement (time, rtt). The paper's
+  // "effective pipe" — throughput x RTT — is computed from these.
+  std::function<void(sim::Time, sim::Time)> on_rtt_sample;
 };
 
 struct SenderCounters {
@@ -88,7 +100,7 @@ class WindowSender : public net::PacketSink {
   std::uint32_t snd_nxt() const { return snd_nxt_; }
   std::uint32_t outstanding() const { return snd_nxt_ - snd_una_; }
   bool in_sack_recovery() const { return in_sack_recovery_; }
-  const SackScoreboard& scoreboard() const { return scoreboard_; }
+  const SackScoreboard& scoreboard() const;
   const SenderCounters& counters() const { return counters_; }
   const RttEstimator& rtt() const { return rtt_; }
   const SenderParams& params() const { return params_; }
@@ -98,12 +110,12 @@ class WindowSender : public net::PacketSink {
   // trigger transmission.
   void pump() { send_available(); }
 
-  // Hooks for tracing.
-  std::function<void(sim::Time, const net::Packet&)> on_send;
-  std::function<void(sim::Time, LossSignal)> on_loss_detected;
-  // Fired for every accepted RTT measurement (time, rtt). The paper's
-  // "effective pipe" — throughput x RTT — is computed from these.
-  std::function<void(sim::Time, sim::Time)> on_rtt_sample;
+  // Tracing hooks, allocated on first touch. Hot paths fire them only when
+  // the block exists.
+  SenderHooks& hooks() {
+    if (!hooks_) hooks_ = std::make_unique<SenderHooks>();
+    return *hooks_;
+  }
 
  protected:
   // Transmits as much as the window allows (subject to pacing).
@@ -140,13 +152,15 @@ class WindowSender : public net::PacketSink {
   std::uint32_t ecn_react_until_ = 0;
   bool cwr_pending_ = false;
 
-  // SACK recovery state (only used when cc_->wants_sack()). Recovery begins
-  // at the dup-ACK threshold and ends when the cumulative ACK reaches
-  // `recover_` (the highest sequence outstanding when loss was detected —
-  // RFC 6582's recovery point). During recovery each further duplicate ACK
-  // retransmits the next scoreboard hole; a partial ACK retransmits the new
-  // snd_una immediately.
-  SackScoreboard scoreboard_;
+  // SACK recovery state, allocated only when the controller wants SACK
+  // (flyweight: most of the zoo doesn't, and at scale the empty scoreboard
+  // vector still costs a cache line per flow). Recovery begins at the
+  // dup-ACK threshold and ends when the cumulative ACK reaches `recover_`
+  // (the highest sequence outstanding when loss was detected — RFC 6582's
+  // recovery point). During recovery each further duplicate ACK retransmits
+  // the next scoreboard hole; a partial ACK retransmits the new snd_una
+  // immediately.
+  std::unique_ptr<SackScoreboard> scoreboard_;
   bool in_sack_recovery_ = false;
   std::uint32_t recover_ = 0;
   std::uint32_t sack_retx_high_ = 0;  // everything below this was resent
@@ -157,13 +171,15 @@ class WindowSender : public net::PacketSink {
   std::uint32_t timed_seq_ = 0;
   sim::Time timed_at_;
 
-  sim::EventHandle rto_timer_;
-  // Pacing state: earliest time the next data packet may leave, and the
-  // deadline the pacing timer is currently armed for (so a pending timer
-  // whose slot has moved on is re-armed rather than left firing stale).
+  sim::Timer rto_timer_;
+  // Earliest time the next data packet may leave. The pacing timer's own
+  // deadline() tracks what it is armed for, so a pending wakeup whose slot
+  // has moved on is re-armed rather than left firing stale (Timer::rearm_at
+  // is that dedup).
   sim::Time next_pacing_slot_;
-  sim::Time pacing_deadline_;
-  sim::EventHandle pacing_timer_;
+  sim::Timer pacing_timer_;
+
+  std::unique_ptr<SenderHooks> hooks_;
 };
 
 }  // namespace tcpdyn::tcp

@@ -1,5 +1,7 @@
 #include "util/rng.h"
 
+#include <cmath>
+
 namespace tcpdyn::util {
 
 std::uint64_t Rng::next_u64() {
@@ -16,6 +18,11 @@ double Rng::next_double() {
 
 double Rng::uniform(double lo, double hi) {
   return lo + (hi - lo) * next_double();
+}
+
+double Rng::exponential(double rate) {
+  // next_double() is in [0, 1), so log1p(-u) = log(1 - u) never sees zero.
+  return -std::log1p(-next_double()) / rate;
 }
 
 std::uint64_t Rng::next_below(std::uint64_t n) {

@@ -23,6 +23,10 @@ class Rng {
   // Uniform double in [lo, hi).
   double uniform(double lo, double hi);
 
+  // Exponential with the given rate (mean 1/rate), via the inverse CDF —
+  // the inter-arrival law of a Poisson process.
+  double exponential(double rate);
+
   // Uniform integer in [0, n). n must be > 0.
   std::uint64_t next_below(std::uint64_t n);
 

@@ -1,0 +1,160 @@
+#include "util/streaming_series.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tcpdyn::util {
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    height_[count_++] = x;
+    if (count_ == 5) {
+      std::sort(height_.begin(), height_.end());
+      for (int i = 0; i < 5; ++i) pos_[i] = i + 1;
+      want_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+      dwant_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+    }
+    return;
+  }
+  ++count_;
+  // Locate the cell and clamp the extreme markers.
+  int k;
+  if (x < height_[0]) {
+    height_[0] = x;
+    k = 0;
+  } else if (x >= height_[4]) {
+    height_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= height_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) want_[i] += dwant_[i];
+  // Adjust the three interior markers toward their desired positions with a
+  // piecewise-parabolic (fallback linear) height update.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = want_[i] - pos_[i];
+    if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      const double s = d >= 0.0 ? 1.0 : -1.0;
+      const double hp = height_[i + 1], hm = height_[i - 1], h = height_[i];
+      const double pp = pos_[i + 1], pm = pos_[i - 1], p = pos_[i];
+      double cand = h + s / (pp - pm) *
+                            ((p - pm + s) * (hp - h) / (pp - p) +
+                             (pp - p - s) * (h - hm) / (p - pm));
+      if (cand <= hm || cand >= hp) {
+        // Parabolic prediction left the bracket: linear step instead.
+        cand = h + s * (height_[i + static_cast<int>(s)] - h) /
+                       (pos_[i + static_cast<int>(s)] - p);
+      }
+      height_[i] = cand;
+      pos_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ >= 5) return height_[2];
+  // Fewer than five samples: exact nearest-rank quantile of what we have.
+  std::array<double, 5> tmp = height_;
+  std::sort(tmp.begin(), tmp.begin() + count_);
+  const double idx = q_ * static_cast<double>(count_ - 1);
+  return tmp[static_cast<std::size_t>(std::llround(idx))];
+}
+
+StreamingSeries::StreamingSeries(std::size_t recent_capacity)
+    : ring_cap_(recent_capacity) {
+  if (ring_cap_ > 0) ring_.reserve(ring_cap_);
+}
+
+void StreamingSeries::record(double time, double value) {
+  if (count_ == 0) {
+    first_time_ = time;
+    min_ = max_ = value;
+  } else {
+    assert(time >= last_time_ && "time must be non-decreasing");
+    if (time == last_time_) {
+      // Overwrite semantics (same as TimeSeries): the replaced value never
+      // existed — it accrued no step weight and its sample is replaced in
+      // the ring; min/max/quantiles only ever see committed points, and the
+      // pending point is folded in lazily by the accessors.
+      last_value_ = value;
+      if (!ring_.empty()) {
+        // Most recent slot: back() while filling, else just before ring_next_.
+        const std::size_t last_slot =
+            ring_.size() < ring_cap_
+                ? ring_.size() - 1
+                : (ring_next_ + ring_cap_ - 1) % ring_cap_;
+        ring_[last_slot].value = value;
+      }
+      return;
+    }
+    // Commit the previous point: it held its value for [last_time_, time).
+    weighted_integral_ += last_value_ * (time - last_time_);
+    min_ = std::min(min_, last_value_);
+    max_ = std::max(max_, last_value_);
+    p50_.add(last_value_);
+    p90_.add(last_value_);
+    p99_.add(last_value_);
+  }
+  ++count_;
+  last_time_ = time;
+  last_value_ = value;
+  if (ring_cap_ > 0) {
+    if (ring_.size() < ring_cap_) {
+      ring_.push_back({time, value});
+    } else {
+      ring_[ring_next_] = {time, value};
+      ring_next_ = (ring_next_ + 1) % ring_cap_;
+    }
+  }
+}
+
+double StreamingSeries::time_weighted_mean() const {
+  return time_weighted_mean_until(last_time_);
+}
+
+double StreamingSeries::time_weighted_mean_until(double t) const {
+  if (count_ == 0 || t <= first_time_) return 0.0;
+  // Committed steps are integrated; the pending point holds to `t`.
+  const double acc = weighted_integral_ + last_value_ * (t - last_time_);
+  return acc / (t - first_time_);
+}
+
+StreamingSummary StreamingSeries::summary() const {
+  StreamingSummary s;
+  s.count = count_;
+  if (count_ == 0) return s;
+  s.last = last_value_;
+  s.min = std::min(min_, last_value_);
+  s.max = std::max(max_, last_value_);
+  s.mean = time_weighted_mean();
+  // Fold the pending point in on copies, so the summary covers every
+  // recorded value (matching the exact series) without mutating state.
+  P2Quantile q50 = p50_, q90 = p90_, q99 = p99_;
+  q50.add(last_value_);
+  q90.add(last_value_);
+  q99.add(last_value_);
+  s.p50 = q50.value();
+  s.p90 = q90.value();
+  s.p99 = q99.value();
+  return s;
+}
+
+std::vector<SeriesPoint> StreamingSeries::recent() const {
+  std::vector<SeriesPoint> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < ring_cap_ || ring_cap_ == 0) {
+    out = ring_;
+  } else {
+    for (std::size_t i = 0; i < ring_cap_; ++i) {
+      out.push_back(ring_[(ring_next_ + i) % ring_cap_]);
+    }
+  }
+  return out;
+}
+
+}  // namespace tcpdyn::util

@@ -1,0 +1,113 @@
+// Fixed-memory companion to TimeSeries: accepts the same event-driven
+// (time, value) stream but keeps O(1) state instead of every point, so
+// monitor memory is independent of run length (the million-flow scale
+// requirement — a 100k-flow incast run records tens of millions of queue
+// changes per monitored port).
+//
+// What it keeps:
+//   - exact count / last value / min / max of recorded values,
+//   - exact time-weighted mean of the step function (same step semantics as
+//     TimeSeries: a point holds its value until the next point),
+//   - P² (Jain & Chlamtac 1985) streaming estimates of the p50/p90/p99 of
+//     recorded values — five markers per quantile, no samples stored,
+//   - a bounded ring of the most recent points for "what just happened"
+//     inspection (size fixed at construction).
+//
+// Equivalence with the exact series is ctest-gated: mean/max/min match
+// TimeSeries exactly on identical input; P² quantiles converge within a
+// tolerance on well-behaved streams (tests/streaming_series_test.cc).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "util/time_series.h"
+
+namespace tcpdyn::util {
+
+// One P² quantile estimator: five markers tracking the running quantile of
+// the recorded *values* (event-weighted, like a percentile over samples).
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q) : q_(q) {}
+
+  void add(double x);
+  // Current estimate; exact while fewer than five samples were seen.
+  double value() const;
+  std::size_t count() const { return count_; }
+
+ private:
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> height_{};    // marker heights
+  std::array<double, 5> pos_{};       // actual marker positions (1-based)
+  std::array<double, 5> want_{};      // desired marker positions
+  std::array<double, 5> dwant_{};     // desired position increments
+};
+
+// Summary snapshot of a StreamingSeries — the plain data the result layer
+// copies out (PortTrace holds one of these in streaming monitor mode).
+struct StreamingSummary {
+  std::size_t count = 0;       // points recorded
+  double last = 0.0;           // most recent value
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;           // time-weighted over [first, last] record
+  double p50 = 0.0;            // P² estimates over recorded values
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+class StreamingSeries {
+ public:
+  // `recent_capacity` bounds the ring of most recent points (0 = keep none).
+  explicit StreamingSeries(std::size_t recent_capacity = 0);
+
+  // Same contract as TimeSeries::record: non-decreasing times; a point at
+  // the same time as the previous one overwrites it (the later write wins,
+  // so the zero-duration intermediate value never accrues weight — and is
+  // not counted as a separate sample).
+  void record(double time, double value);
+
+  bool empty() const { return count_ == 0; }
+  std::size_t count() const { return count_; }
+  double last_value() const { return last_value_; }
+  double front_time() const { return first_time_; }
+  double back_time() const { return last_time_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  // Time-weighted mean of the step function over [front_time, back_time];
+  // matches TimeSeries::time_weighted_mean(front_time(), back_time()).
+  double time_weighted_mean() const;
+
+  // Integrates the step function up to `t` (>= back_time) and returns the
+  // mean over [front_time, t] — what a monitor reports at the end of a run
+  // whose last event landed before the measurement window closed.
+  double time_weighted_mean_until(double t) const;
+
+  StreamingSummary summary() const;
+
+  // The most recent points, oldest first (at most recent_capacity).
+  std::vector<SeriesPoint> recent() const;
+
+ private:
+  std::size_t count_ = 0;
+  double first_time_ = 0.0;
+  double last_time_ = 0.0;
+  double last_value_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double weighted_integral_ = 0.0;  // sum of value * dt over closed steps
+  P2Quantile p50_{0.50};
+  P2Quantile p90_{0.90};
+  P2Quantile p99_{0.99};
+  // Ring buffer of recent points; ring_next_ is the slot the next point
+  // lands in once the ring is full.
+  std::vector<SeriesPoint> ring_;
+  std::size_t ring_cap_;
+  std::size_t ring_next_ = 0;
+};
+
+}  // namespace tcpdyn::util

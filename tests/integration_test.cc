@@ -79,7 +79,7 @@ TEST(Integration, WindowNeverExceedsLimit) {
   cfg.dst_host = h.host2;
   auto& conn = exp.add_connection(cfg);
   bool violated = false;
-  conn.sender().on_send = [&](sim::Time, const net::Packet& p) {
+  conn.sender().hooks().on_send = [&](sim::Time, const net::Packet& p) {
     // New data may only be sent while outstanding < window. (Retransmitted
     // data is exempt: after a loss collapses cwnd to 1, the previously-sent
     // flight legitimately exceeds the new window.)

@@ -1,0 +1,188 @@
+// StreamingSeries must be a drop-in summary replacement for TimeSeries on
+// the monitor path: identical record() call sequence, exact agreement on
+// count/min/max/last/time-weighted mean, and P² quantiles close to the
+// exact percentiles on realistic streams. The exactness claims are the
+// gate — streaming monitor mode changes memory, not measurements.
+#include "util/streaming_series.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/time_series.h"
+
+namespace tcpdyn::util {
+namespace {
+
+TEST(P2Quantile, ExactBelowFiveSamples) {
+  P2Quantile q(0.5);
+  EXPECT_DOUBLE_EQ(q.value(), 0.0);
+  q.add(10.0);
+  EXPECT_DOUBLE_EQ(q.value(), 10.0);
+  q.add(2.0);
+  q.add(7.0);
+  EXPECT_DOUBLE_EQ(q.value(), 7.0);  // median of {2, 7, 10}
+}
+
+TEST(P2Quantile, ConvergesOnUniformStream) {
+  // Deterministic xorshift uniform samples in [0, 1).
+  std::uint64_t s = 88172645463325252ull;
+  auto next = [&s] {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return static_cast<double>(s >> 11) / 9007199254740992.0;
+  };
+  P2Quantile p50(0.5), p90(0.9), p99(0.99);
+  for (int i = 0; i < 20'000; ++i) {
+    const double x = next();
+    p50.add(x);
+    p90.add(x);
+    p99.add(x);
+  }
+  EXPECT_NEAR(p50.value(), 0.50, 0.02);
+  EXPECT_NEAR(p90.value(), 0.90, 0.02);
+  EXPECT_NEAR(p99.value(), 0.99, 0.01);
+}
+
+TEST(P2Quantile, MatchesExactOnSkewedStream) {
+  // A queue-like sawtooth: mostly small values, occasional spikes.
+  std::vector<double> xs;
+  P2Quantile p90(0.9);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = (i % 50 == 0) ? 100.0 + i % 7 : static_cast<double>(i % 20);
+    xs.push_back(x);
+    p90.add(x);
+  }
+  std::sort(xs.begin(), xs.end());
+  const double exact = xs[static_cast<std::size_t>(0.9 * (xs.size() - 1))];
+  EXPECT_NEAR(p90.value(), exact, 2.0);
+}
+
+TEST(StreamingSeries, EmptyDefaults) {
+  StreamingSeries s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.time_weighted_mean(), 0.0);
+  EXPECT_EQ(s.summary().count, 0u);
+  EXPECT_TRUE(s.recent().empty());
+}
+
+TEST(StreamingSeries, MeanMatchesTimeSeriesExactly) {
+  TimeSeries exact;
+  StreamingSeries streaming;
+  // Replay a plausible queue-depth trace, including same-time overwrites.
+  const double times[] = {0.0, 0.1, 0.1, 0.35, 0.5, 0.5, 0.5, 1.25, 2.0};
+  const double vals[] = {0.0, 3.0, 4.0, 2.0, 9.0, 7.0, 8.0, 1.0, 5.0};
+  for (int i = 0; i < 9; ++i) {
+    exact.record(times[i], vals[i]);
+    streaming.record(times[i], vals[i]);
+  }
+  EXPECT_EQ(streaming.count(), exact.size());
+  EXPECT_DOUBLE_EQ(streaming.time_weighted_mean(),
+                   exact.time_weighted_mean(exact.front_time(),
+                                            exact.back_time()));
+  EXPECT_DOUBLE_EQ(streaming.time_weighted_mean_until(3.0),
+                   exact.time_weighted_mean(exact.front_time(), 3.0));
+  EXPECT_DOUBLE_EQ(streaming.last_value(), 5.0);
+  EXPECT_DOUBLE_EQ(streaming.min(), 0.0);
+  // The 9.0 at t=0.5 was overwritten (7 then 8) before time advanced, so
+  // per overwrite semantics it never existed; the committed max is 8.
+  EXPECT_DOUBLE_EQ(streaming.max(), 8.0);
+}
+
+TEST(StreamingSeries, LargeRandomStreamAgreesWithExact) {
+  TimeSeries exact;
+  StreamingSeries streaming;
+  std::uint64_t s = 0x9e3779b97f4a7c15ull;
+  auto next = [&s] {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  };
+  double t = 0.0;
+  double prev_t = -1.0;
+  std::vector<double> vals;
+  for (int i = 0; i < 50'000; ++i) {
+    t += static_cast<double>(next() % 1000) * 1e-4;
+    const double v = static_cast<double>(next() % 10'000) * 0.01;
+    exact.record(t, v);
+    streaming.record(t, v);
+    if (t == prev_t) {
+      vals.back() = v;  // same-time record overwrites, like the series
+    } else {
+      vals.push_back(v);
+    }
+    prev_t = t;
+  }
+  EXPECT_EQ(streaming.count(), exact.size());
+  // Mean accumulates in the identical left-to-right order: bit-exact.
+  EXPECT_DOUBLE_EQ(streaming.time_weighted_mean(),
+                   exact.time_weighted_mean(exact.front_time(),
+                                            exact.back_time()));
+  const StreamingSummary sum = streaming.summary();
+  // P² on 50k uniform-ish samples: within ~1% of range of exact quantiles.
+  std::vector<double> sorted(vals.begin(), vals.end());
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_DOUBLE_EQ(sum.min, sorted.front());
+  EXPECT_DOUBLE_EQ(sum.max, sorted.back());
+  auto exact_q = [&](double q) {
+    return sorted[static_cast<std::size_t>(q * (sorted.size() - 1))];
+  };
+  EXPECT_NEAR(sum.p50, exact_q(0.50), 1.0);
+  EXPECT_NEAR(sum.p90, exact_q(0.90), 1.0);
+  EXPECT_NEAR(sum.p99, exact_q(0.99), 1.0);
+}
+
+TEST(StreamingSeries, SameTimeOverwriteReplacesPending) {
+  StreamingSeries s;
+  s.record(1.0, 10.0);
+  s.record(1.0, 99.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.last_value(), 99.0);
+  // The overwritten 10.0 never existed: max reflects only 99.
+  EXPECT_DOUBLE_EQ(s.summary().max, 99.0);
+  s.record(2.0, 0.0);
+  EXPECT_DOUBLE_EQ(s.time_weighted_mean(), 99.0);  // 99 held for [1, 2]
+}
+
+TEST(StreamingSeries, RecentRingKeepsLatestPoints) {
+  StreamingSeries s(3);
+  for (int i = 0; i < 10; ++i) {
+    s.record(static_cast<double>(i), static_cast<double>(i * i));
+  }
+  const std::vector<SeriesPoint> r = s.recent();
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_DOUBLE_EQ(r[0].time, 7.0);
+  EXPECT_DOUBLE_EQ(r[0].value, 49.0);
+  EXPECT_DOUBLE_EQ(r[2].time, 9.0);
+  EXPECT_DOUBLE_EQ(r[2].value, 81.0);
+}
+
+TEST(StreamingSeries, RingOverwriteAtSameTime) {
+  StreamingSeries s(2);
+  s.record(0.0, 1.0);
+  s.record(1.0, 2.0);
+  s.record(2.0, 3.0);  // ring wrapped: holds (1,2), (2,3)
+  s.record(2.0, 30.0);  // overwrite most recent slot in wrapped ring
+  const std::vector<SeriesPoint> r = s.recent();
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(r[1].value, 30.0);
+}
+
+TEST(StreamingSeries, ZeroCapacityRingKeepsNothing) {
+  StreamingSeries s(0);
+  s.record(0.0, 1.0);
+  s.record(1.0, 2.0);
+  EXPECT_TRUE(s.recent().empty());
+  EXPECT_EQ(s.count(), 2u);  // summary stats unaffected
+}
+
+}  // namespace
+}  // namespace tcpdyn::util

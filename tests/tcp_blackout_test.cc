@@ -57,7 +57,7 @@ BlackoutRun run_blackout() {
   tcp::TahoeCc* tahoe = conn.tahoe();
   tcp::WindowSender& sender = conn.sender();
 
-  sender.on_loss_detected = [&](sim::Time t, tcp::LossSignal signal) {
+  sender.hooks().on_loss_detected = [&](sim::Time t, tcp::LossSignal signal) {
     if (signal != tcp::LossSignal::kTimeout) return;
     out.timeouts.push_back({t.sec(), sender.rtt().rto(),
                             sender.rtt().backoff_exponent(),

@@ -142,7 +142,7 @@ class NewRenoSenderTest : public ::testing::Test {
     p.peer = h2_;
     auto s = std::make_unique<WindowSender>(sim_, net_.host(h1_), p,
                                             std::make_unique<NewRenoCc>());
-    s->on_send = [this](sim::Time, const net::Packet& pkt) {
+    s->hooks().on_send = [this](sim::Time, const net::Packet& pkt) {
       sent_.push_back(pkt);
     };
     s->start(sim::Time::zero());

@@ -36,7 +36,7 @@ class RenoTest : public ::testing::Test {
   }
 
   void attach(WindowSender& s) {
-    s.on_send = [this](sim::Time, const net::Packet& p) {
+    s.hooks().on_send = [this](sim::Time, const net::Packet& p) {
       sent_.push_back(p);
     };
     s.start(sim::Time::zero());

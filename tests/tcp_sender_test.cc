@@ -44,7 +44,7 @@ class SenderTest : public ::testing::Test {
   }
 
   void attach(WindowSender& s) {
-    s.on_send = [this](sim::Time, const net::Packet& p) {
+    s.hooks().on_send = [this](sim::Time, const net::Packet& p) {
       sent_.push_back(p);
     };
     s.start(sim::Time::zero());
@@ -229,7 +229,7 @@ TEST_F(SenderTest, AckEqualToTimedSeqProducesNoSample) {
   // condition is strictly ack.ack > timed_seq.
   TahoeSender s(sim_, net_.host(h1_), params());
   int samples = 0;
-  s.on_rtt_sample = [&](sim::Time, sim::Time) { ++samples; };
+  s.hooks().on_rtt_sample = [&](sim::Time, sim::Time) { ++samples; };
   attach(s);              // sends 0, times seq 0
   ack(s, 1);              // covers 0: sample; cwnd 2, sends 1-2, times seq 1
   EXPECT_EQ(samples, 1);
@@ -338,7 +338,7 @@ TEST_F(SenderTest, PacingSpacesTransmissions) {
   p.pacing_interval = sim::Time::milliseconds(80);
   FixedWindowSender s(sim_, net_.host(h1_), p, 4);
   std::vector<sim::Time> times;
-  s.on_send = [&](sim::Time t, const net::Packet&) { times.push_back(t); };
+  s.hooks().on_send = [&](sim::Time t, const net::Packet&) { times.push_back(t); };
   s.start(sim::Time::zero());
   sim_.run_until(sim::Time::seconds(1.0));
   ASSERT_EQ(times.size(), 4u);
@@ -350,7 +350,7 @@ TEST_F(SenderTest, PacingSpacesTransmissions) {
 TEST_F(SenderTest, NonpacedSendsBackToBack) {
   FixedWindowSender s(sim_, net_.host(h1_), params(), 4);
   std::vector<sim::Time> times;
-  s.on_send = [&](sim::Time t, const net::Packet&) { times.push_back(t); };
+  s.hooks().on_send = [&](sim::Time t, const net::Packet&) { times.push_back(t); };
   s.start(sim::Time::zero());
   sim_.run_until(sim::Time::zero());
   ASSERT_EQ(times.size(), 4u);
@@ -394,7 +394,7 @@ TEST_F(SenderTest, EffectivePacingUsesControllerIntervalWhenLarger) {
   WindowSender s(sim_, net_.host(h1_), p,
                  std::make_unique<StubPacedCc>(4, sim::Time::milliseconds(90)));
   std::vector<sim::Time> times;
-  s.on_send = [&](sim::Time t, const net::Packet&) { times.push_back(t); };
+  s.hooks().on_send = [&](sim::Time t, const net::Packet&) { times.push_back(t); };
   s.start(sim::Time::zero());
   sim_.run_until(sim::Time::seconds(1.0));
   ASSERT_EQ(times.size(), 4u);
@@ -409,7 +409,7 @@ TEST_F(SenderTest, EffectivePacingUsesParamsIntervalWhenLarger) {
   WindowSender s(sim_, net_.host(h1_), p,
                  std::make_unique<StubPacedCc>(4, sim::Time::milliseconds(30)));
   std::vector<sim::Time> times;
-  s.on_send = [&](sim::Time t, const net::Packet&) { times.push_back(t); };
+  s.hooks().on_send = [&](sim::Time t, const net::Packet&) { times.push_back(t); };
   s.start(sim::Time::zero());
   sim_.run_until(sim::Time::seconds(1.0));
   ASSERT_EQ(times.size(), 4u);
@@ -426,7 +426,7 @@ TEST_F(SenderTest, PacedStartReAnchorsPacingSlot) {
   p.pacing_interval = sim::Time::milliseconds(80);
   FixedWindowSender s(sim_, net_.host(h1_), p, 3);
   std::vector<sim::Time> times;
-  s.on_send = [&](sim::Time t, const net::Packet&) { times.push_back(t); };
+  s.hooks().on_send = [&](sim::Time t, const net::Packet&) { times.push_back(t); };
   s.start(sim::Time::milliseconds(500));
   sim_.run_until(sim::Time::seconds(1.0));
   ASSERT_EQ(times.size(), 3u);
@@ -456,7 +456,7 @@ std::vector<std::pair<std::int64_t, std::uint32_t>> varying_pacing_run() {
   cc->alternate(sim::Time::milliseconds(90));
   WindowSender s(sim, net.host(h1), p, std::move(cc));
   std::vector<std::pair<std::int64_t, std::uint32_t>> sent;
-  s.on_send = [&](sim::Time t, const net::Packet& pkt) {
+  s.hooks().on_send = [&](sim::Time t, const net::Packet& pkt) {
     sent.emplace_back(t.ns(), pkt.seq);
   };
   for (std::uint32_t k = 1; k <= 5; ++k) {

@@ -19,6 +19,9 @@
 #include "core/scenarios.h"
 #include "core/topo_scenarios.h"
 #include "core/topology.h"
+#include "net/queue.h"
+#include "sim/timer_wheel.h"
+#include "tcp/congestion_control.h"
 #include "util/flags.h"
 
 using namespace tcpdyn;
@@ -29,8 +32,8 @@ void declare_flags(util::Flags& flags) {
   flags
       .flag("scenario", "NAME",
             "fig2|fig3|fig4|fig6|fig8|fig9|oneway|twoway|fixed|chain|ring|"
-            "parking-lot|waxman|chaos|red-wave|topo|cc-matrix (also accepted "
-            "positionally)",
+            "parking-lot|waxman|chaos|red-wave|datacenter|topo|cc-matrix "
+            "(also accepted positionally)",
             "fig4")
       .flag("file", "PATH", "topology file (scenario topo)", "")
       .flag("faults", "PATH",
@@ -47,16 +50,18 @@ void declare_flags(util::Flags& flags) {
       .flag("conns", "N", "connection / flow count", 2)
       .flag("sender", "tahoe|reno", "adaptive sender kind", "tahoe")
       .flag("cc", "LIST",
-            "comma-separated congestion controllers "
-            "(tahoe|reno|newreno|cubic|vegas|bbr|fixed); oneway/twoway cycle "
-            "flows through the list, cc-matrix uses it as the algorithm set",
+            "comma-separated congestion controllers (" +
+                tcp::cc_registry().names_joined() +
+                "); oneway/twoway cycle flows through the list, cc-matrix "
+                "uses it as the algorithm set",
             "")
       .flag("delayed-ack", "receiver delayed-ACK option", false)
       .flag("pacing", "SEC", "pacing interval (0 = nonpaced)", 0.0)
       .flag("random-drop", "random-drop bottleneck discipline", false)
       .flag("qdisc", "NAME",
-            "bottleneck queue discipline "
-            "(droptail|randomdrop|red|red-ecn|drr); oneway/twoway/red-wave",
+            "bottleneck queue discipline (" +
+                net::qdisc_registry().names_joined() +
+                "); oneway/twoway/red-wave",
             "")
       .flag("ecn", "flows negotiate ECN (oneway/twoway/red-wave)", false)
       .flag("w1", "PKTS", "fixed-window size, forward", 30)
@@ -66,11 +71,23 @@ void declare_flags(util::Flags& flags) {
       .flag("long-flows", "N", "parking-lot end-to-end flows", 128)
       .flag("cross-per-hop", "N", "parking-lot cross flows per trunk", 96)
       .flag("switches", "N", "ring/waxman switch count", 0)
+      .flag("senders", "N", "datacenter fan-in width (sender hosts)", 64)
+      .flag("flows-per-sender", "N", "datacenter sessions per sender", 4)
+      .flag("arrival-rate", "R",
+            "datacenter per-sender Poisson session arrivals/sec "
+            "(0 = closed population)",
+            0.0)
+      .flag("session", "SEC",
+            "datacenter per-session transmit time (0 = forever)", 0.0)
       .flag("warmup", "SEC", "override scenario warmup", "")
       .flag("duration", "SEC", "override measured duration", "")
       .flag("chart", "print ASCII queue charts", false)
       .flag("csv-dir", "DIR", "export raw traces as CSV here", "")
       .flag("audit", "off|counters|full", "conservation-check strength", "")
+      .flag("timer", "slab|wheel",
+            "scheduler timer backend (identical results; wheel is O(1) "
+            "arm/cancel for large flow counts)",
+            "slab")
       .flag("trace", "PATH", "write a JSONL event trace here", "");
 }
 
@@ -80,7 +97,8 @@ int fail(const util::Flags& flags, const std::string& msg) {
   return 2;
 }
 
-// Parses "--cc tahoe,cubic,vegas"; throws on an unknown name.
+// Parses "--cc tahoe,cubic,vegas". The registry throws on an unknown name
+// with a did-you-mean suggestion and the valid list.
 std::vector<tcp::CcAlgorithm> parse_cc_list(const std::string& list) {
   std::vector<tcp::CcAlgorithm> out;
   std::size_t pos = 0;
@@ -88,13 +106,7 @@ std::vector<tcp::CcAlgorithm> parse_cc_list(const std::string& list) {
     const std::size_t comma = std::min(list.find(',', pos), list.size());
     const std::string name = list.substr(pos, comma - pos);
     if (!name.empty()) {
-      const auto algo = tcp::parse_cc(name);
-      if (!algo) {
-        throw std::invalid_argument("unknown congestion controller '" + name +
-                                    "' (tahoe|reno|newreno|cubic|vegas|"
-                                    "bbr|fixed)");
-      }
-      out.push_back(*algo);
+      out.push_back(tcp::cc_registry().require(name, "congestion controller"));
     }
     pos = comma + 1;
   }
@@ -102,20 +114,16 @@ std::vector<tcp::CcAlgorithm> parse_cc_list(const std::string& list) {
 }
 
 // Parses --qdisc into a full discipline config; nullopt when the flag is
-// unset (keep the scenario's historic drop-policy path). Throws on an
-// unknown name.
+// unset (keep the scenario's historic drop-policy path). The registry
+// throws on an unknown name.
 std::optional<net::QdiscConfig> parse_qdisc_flag(const util::Flags& flags) {
   const std::string name = flags.get("qdisc");
   if (name.empty()) return std::nullopt;
+  const net::QdiscChoice& choice =
+      net::qdisc_registry().require(name, "queue discipline");
   net::QdiscConfig config;
-  bool ecn = false;
-  const auto kind = net::parse_qdisc(name, &ecn);
-  if (!kind) {
-    throw std::invalid_argument("unknown --qdisc '" + name +
-                                "' (droptail|randomdrop|red|red-ecn|drr)");
-  }
-  config.kind = *kind;
-  config.red.ecn = ecn;
+  config.kind = choice.kind;
+  config.red.ecn = choice.ecn;
   return config;
 }
 
@@ -249,6 +257,20 @@ core::Scenario build(const std::string& which, const util::Flags& flags) {
     p.seed = seed;
     return core::red_wave_scenario(p);
   }
+  if (which == "datacenter" || which == "incast") {
+    core::IncastParams p;
+    p.senders = size("senders");
+    p.flows_per_sender = size("flows-per-sender");
+    if (flags.has("buffer")) p.buffer = size("buffer");
+    p.arrival_rate = flags.get_double("arrival-rate");
+    p.session_sec = flags.get_double("session");
+    const std::vector<tcp::CcAlgorithm> cc = parse_cc_list(flags.get("cc"));
+    if (!cc.empty()) p.cc = cc.front();
+    if (flags.has("warmup")) p.warmup_sec = flags.get_double("warmup");
+    if (flags.has("duration")) p.duration_sec = flags.get_double("duration");
+    p.seed = seed;
+    return core::incast_scenario(p);
+  }
   if (which == "topo") {
     const std::string file = flags.get("file");
     if (file.empty()) {
@@ -294,6 +316,15 @@ int main(int argc, char** argv) {
   const std::string which = flags.positional().empty()
                                 ? flags.get("scenario")
                                 : flags.positional()[0];
+
+  // The backend must be set before any Experiment is constructed — each
+  // Simulator snapshots the process default at construction.
+  if (const auto backend = sim::parse_timer_backend(flags.get("timer"))) {
+    sim::set_default_timer_backend(*backend);
+  } else {
+    return fail(flags,
+                "unknown --timer '" + flags.get("timer") + "' (slab|wheel)");
+  }
 
   if (which == "cc-matrix") {
     core::CcMatrixParams p;

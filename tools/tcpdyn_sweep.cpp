@@ -25,6 +25,9 @@
 #include "core/scenarios.h"
 #include "core/sweep.h"
 #include "core/topo_scenarios.h"
+#include "net/queue.h"
+#include "sim/timer_wheel.h"
+#include "tcp/congestion_control.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/table.h"
@@ -51,8 +54,8 @@ void declare_flags(util::Flags& flags) {
       .flag("buffer", "PKTS", "bottleneck buffer", "")
       .flag("conns", "N", "connection / flow count", "")
       .flag("cc", "LIST",
-            "ccmix controller cycle, comma-separated "
-            "(tahoe|reno|newreno|cubic|vegas|bbr|fixed)",
+            "ccmix controller cycle, comma-separated (" +
+                tcp::cc_registry().names_joined() + ")",
             "tahoe,reno,newreno,cubic,vegas")
       .flag("w1", "PKTS", "fixed-window size, forward", "")
       .flag("w2", "PKTS", "fixed-window size, reverse", "")
@@ -60,9 +63,10 @@ void declare_flags(util::Flags& flags) {
       .flag("maxwnd", "PKTS", "delayed-ack scenario window cap", "")
       .flag("hops", "N", "parking-lot/red-wave trunk links", "")
       .flag("qdisc", "NAME",
-            "red-wave trunk discipline "
-            "(droptail|randomdrop|red|red-ecn|drr); grid axes are numeric, "
-            "so the discipline is a flag, not an axis",
+            "red-wave trunk discipline (" +
+                net::qdisc_registry().names_joined() +
+                "); grid axes are numeric, so the discipline is a flag, "
+                "not an axis",
             "")
       .flag("ecn", "red-wave flows negotiate ECN", false)
       .flag("long-flows", "N", "parking-lot end-to-end flows", "")
@@ -72,6 +76,10 @@ void declare_flags(util::Flags& flags) {
       .flag("outage", "SEC", "chaos trunk-flap duration", "")
       .flag("flap-period", "SEC", "chaos gap between trunk flaps", "")
       .flag("flaps", "N", "chaos trunk-flap count", "")
+      .flag("timer", "slab|wheel",
+            "scheduler timer backend (identical results; wheel is O(1) "
+            "arm/cancel for large flow counts)",
+            "slab")
       .flag("progress", "log per-point progress and ETA to stderr", false)
       .flag("quiet", "suppress the summary table on stdout", false)
       .flag("audit", "off|counters|full", "conservation-check strength", "")
@@ -155,12 +163,8 @@ core::Scenario build_scenario(const std::string& which,
       const std::size_t comma = std::min(list.find(',', pos), list.size());
       const std::string name = list.substr(pos, comma - pos);
       if (!name.empty()) {
-        const auto algo = tcp::parse_cc(name);
-        if (!algo) {
-          throw std::invalid_argument("unknown congestion controller '" +
-                                      name + "'");
-        }
-        algos.push_back(*algo);
+        algos.push_back(
+            tcp::cc_registry().require(name, "congestion controller"));
       }
       pos = comma + 1;
     }
@@ -206,14 +210,10 @@ core::Scenario build_scenario(const std::string& which,
                             static_cast<double>(p.flows)));
     const std::string qdisc = flags.get("qdisc");
     if (!qdisc.empty()) {
-      bool ecn = false;
-      const auto kind = net::parse_qdisc(qdisc, &ecn);
-      if (!kind) {
-        throw std::invalid_argument("unknown --qdisc '" + qdisc +
-                                    "' (droptail|randomdrop|red|red-ecn|drr)");
-      }
-      p.qdisc.kind = *kind;
-      p.qdisc.red.ecn = ecn;
+      const net::QdiscChoice& choice =
+          net::qdisc_registry().require(qdisc, "queue discipline");
+      p.qdisc.kind = choice.kind;
+      p.qdisc.red.ecn = choice.ecn;
     }
     p.ecn = flags.get_bool("ecn");
     p.seed = pt.seed;
@@ -263,6 +263,15 @@ int main(int argc, char** argv) {
     return usage(flags, "--grid is required");
   }
   const std::string which = flags.get("scenario");
+
+  // Set before any worker builds an Experiment (Simulators snapshot the
+  // process default at construction; the sweep sets it once, up front).
+  if (const auto backend = sim::parse_timer_backend(flags.get("timer"))) {
+    sim::set_default_timer_backend(*backend);
+  } else {
+    return usage(flags,
+                 "unknown --timer '" + flags.get("timer") + "' (slab|wheel)");
+  }
 
   core::SweepGrid grid;
   try {
