@@ -26,6 +26,17 @@
 //                     and fail if the default audit mode costs more than
 //                     fraction F of events/sec (same-run comparison, so it
 //                     is far less noisy than a cross-run baseline)
+//   --shard-scaling   also run the sharded-scaling tier: the incast100k
+//                     churn spec and a 1000-node Waxman mesh through
+//                     core::ShardedEngine at shards = 1/2/4 (events/sec
+//                     per shard count lands in the report). Off by default
+//                     because the pinned perf leg cannot exercise
+//                     parallelism; the unpinned shard-scaling CI leg turns
+//                     it on.
+//   --shard-speedup-min F
+//                     implies --shard-scaling; fail unless the Waxman
+//                     workload reaches F x events/sec at 4 shards over 1
+//                     shard (the scaling acceptance gate; needs >= 4 cores)
 //
 // The committed baseline lives at the repo root as BENCH_core.json; refresh
 // it by re-running on the reference machine (see README "Benchmarking").
@@ -43,6 +54,7 @@
 
 #include "core/cc_matrix.h"
 #include "core/scenarios.h"
+#include "core/shard_engine.h"
 #include "core/sweep.h"
 #include "core/topo_scenarios.h"
 #include "net/queue.h"
@@ -271,6 +283,61 @@ WorkloadResult run_sweep16(double scale, std::size_t jobs) {
   return r;
 }
 
+// Sharded-scaling tier: the same TopoSpec through ShardedEngine at a given
+// shard count. Not baseline-gated (scaling is machine-dependent, and the CI
+// perf leg is pinned to one core where parallel shards cannot help); the
+// unpinned shard-scaling CI leg gates the s4/s1 ratio via
+// --shard-speedup-min instead.
+WorkloadResult run_sharded(const std::string& name, const core::TopoSpec& spec,
+                           std::size_t shards) {
+  WorkloadResult r;
+  r.name = name;
+  r.gated = false;
+  const double t0 = now_sec();
+  core::ShardedEngine engine(spec, shards, core::kDefaultAuditMode,
+                             sim::TimerBackend::kWheel);
+  core::ExperimentResult result = engine.run();
+  r.wall_sec = now_sec() - t0;
+  r.events = engine.events_executed();
+  for (const auto& port : result.ports) r.packets += port.counters.arrivals;
+  r.sim_seconds = (spec.warmup + spec.duration).sec();
+  return r;
+}
+
+// 1000-node Waxman mesh (250 switches + 750 hosts, 1000 Tahoe flows). The
+// 5 ms trunk delays give the partitioner a generous lookahead, so this is
+// the workload where conservative sharding should pay: the acceptance bar
+// is >= 1.5x events/sec at 4 shards over 1 shard on an unpinned machine.
+core::TopoSpec waxman1k_spec(double scale) {
+  core::WaxmanParams p;
+  p.switches = 250;
+  p.hosts = 750;
+  p.flows = 1000;
+  core::TopoSpec spec = core::waxman_spec(p);
+  spec.warmup = sim::Time::seconds(2.0 * scale);
+  spec.duration = sim::Time::seconds(10.0 * scale);
+  spec.monitor_mode = core::MonitorMode::kStreaming;
+  spec.per_flow_traces = false;
+  return spec;
+}
+
+// The incast100k churn spec again, but run through ShardedEngine. A star
+// with 100 us access delays is the adversarial case for conservative
+// sync — the lookahead is tiny, so barrier rounds dominate and the scaling
+// numbers record what that regime costs rather than a win.
+core::TopoSpec incast100k_shard_spec(double scale) {
+  core::IncastParams p;
+  p.senders = 200;
+  p.flows_per_sender = 500;
+  p.arrival_rate = 10.0;
+  p.session_sec = 0.05;
+  p.warmup_sec = 5.0 * scale;
+  p.duration_sec = 55.0 * scale;
+  p.streaming = true;
+  p.per_flow_traces = false;
+  return core::incast_spec(p);
+}
+
 // ------------------------------------------------------------------ JSON
 
 std::string fmt_num(double v) {
@@ -475,6 +542,26 @@ int main(int argc, char** argv) {
   results.push_back(run_incast100k(scale));
   results.push_back(run_sweep16(scale, jobs));
 
+  const bool gate_shard_speedup = flags.has("shard-speedup-min");
+  const double shard_speedup_min =
+      flags.get_double("shard-speedup-min", 0.0);
+  if (flags.has("shard-scaling") || gate_shard_speedup) {
+    // Best-of across shard counts would hide barrier-round variance, which
+    // is exactly what the scaling numbers exist to surface — so each point
+    // runs best-of like the serial workloads, shard count outermost.
+    const core::TopoSpec wax = waxman1k_spec(scale);
+    const core::TopoSpec inc = incast100k_shard_spec(scale);
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                     std::size_t{4}}) {
+      const std::string suffix = "_s" + std::to_string(shards);
+      results.push_back(best_of(
+          reps, [&] { return run_sharded("waxman1k" + suffix, wax, shards); }));
+      results.push_back(best_of(reps, [&] {
+        return run_sharded("incast100k" + suffix, inc, shards);
+      }));
+    }
+  }
+
   const std::string out = flags.get("out", "-");
   if (out == "-") {
     write_report(std::cout, results);
@@ -506,6 +593,31 @@ int main(int argc, char** argv) {
                    "bench_perf_core: FAIL audit mode costs %.2f%% events/sec "
                    "(budget %.0f%%)\n",
                    overhead * 100.0, max_overhead * 100.0);
+      return 1;
+    }
+  }
+
+  if (gate_shard_speedup) {
+    const auto find = [&](const std::string& name) -> const WorkloadResult* {
+      for (const auto& w : results)
+        if (w.name == name) return &w;
+      return nullptr;
+    };
+    const WorkloadResult* s1 = find("waxman1k_s1");
+    const WorkloadResult* s4 = find("waxman1k_s4");
+    const double speedup =
+        s1 && s4 && s1->events_per_sec() > 0.0
+            ? s4->events_per_sec() / s1->events_per_sec()
+            : 0.0;
+    std::fprintf(stderr,
+                 "bench_perf_core: waxman1k 4-shard speedup %.2fx "
+                 "(min %.2fx)\n",
+                 speedup, shard_speedup_min);
+    if (speedup < shard_speedup_min) {
+      std::fprintf(stderr,
+                   "bench_perf_core: FAIL sharded scaling below the "
+                   "%.2fx floor\n",
+                   shard_speedup_min);
       return 1;
     }
   }

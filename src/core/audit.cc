@@ -246,6 +246,73 @@ void Audit::on_deliver(sim::Time t, const net::Packet& pkt) {
   if (trace_ != nullptr) trace_->on_deliver(t, pkt);
 }
 
+void Audit::transfer_in_flight(std::uint64_t uid, Audit& dst) {
+  auto it = ledger_.find(uid);
+  if (it == ledger_.end()) {
+    violation("cross-shard handoff of unknown uid " + std::to_string(uid) +
+              " (never created, or already handed off)");
+  } else {
+    if (it->second != State::kInFlight) {
+      violation("cross-shard handoff of uid " + std::to_string(uid) +
+                " in state " + state_name(it->second) +
+                " (expected in-flight)");
+    }
+    ledger_.erase(it);
+  }
+  auto [dit, inserted] = dst.ledger_.emplace(uid, State::kInFlight);
+  if (!inserted) {
+    dst.violation("cross-shard handoff of uid " + std::to_string(uid) +
+                  " double-attributed: already in destination shard's ledger");
+    dit->second = State::kInFlight;
+  }
+}
+
+void Audit::absorb(Audit&& other) {
+  for (const auto& [uid, state] : other.ledger_) {
+    auto [it, inserted] = ledger_.emplace(uid, state);
+    if (!inserted) {
+      violation("uid " + std::to_string(uid) +
+                " present in two shard ledgers at merge");
+      (void)it;
+    }
+  }
+  for (const auto& [port, tally] : other.tallies_) {
+    PortTally& t = tallies_[port];
+    t.enqueued += tally.enqueued;
+    t.dequeued += tally.dequeued;
+    t.arrival_drops += tally.arrival_drops;
+    t.victim_drops += tally.victim_drops;
+    t.down_drops += tally.down_drops;
+    t.wire_drops += tally.wire_drops;
+    t.bytes_enqueued += tally.bytes_enqueued;
+    t.bytes_dequeued += tally.bytes_dequeued;
+    t.bytes_dropped += tally.bytes_dropped;
+    t.bytes_victim_drops += tally.bytes_victim_drops;
+    t.bytes_wire_drops += tally.bytes_wire_drops;
+    t.marks += tally.marks;
+    t.bytes_marked += tally.bytes_marked;
+    t.tx_ns += tally.tx_ns;
+  }
+  totals_.created += other.totals_.created;
+  totals_.delivered += other.totals_.delivered;
+  totals_.dropped += other.totals_.dropped;
+  totals_.bytes_created += other.totals_.bytes_created;
+  totals_.bytes_delivered += other.totals_.bytes_delivered;
+  totals_.bytes_dropped += other.totals_.bytes_dropped;
+  totals_.drops_queue += other.totals_.drops_queue;
+  totals_.drops_down += other.totals_.drops_down;
+  totals_.drops_fault += other.totals_.drops_fault;
+  totals_.marks += other.totals_.marks;
+  totals_.bytes_marked += other.totals_.bytes_marked;
+  for (std::string& v : other.violations_) {
+    violation(std::move(v));
+  }
+  suppressed_violations_ += other.suppressed_violations_;
+  other.ledger_.clear();
+  other.tallies_.clear();
+  other.violations_.clear();
+}
+
 AuditReport Audit::finalize(net::Network& net, sim::Time now) {
   AuditReport report;
 

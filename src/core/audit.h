@@ -123,6 +123,21 @@ class Audit : public net::PacketObserver {
   // Includes everything audit_counters_check reports.
   AuditReport finalize(net::Network& net, sim::Time now);
 
+  // --- sharded runs ------------------------------------------------------
+  // Each shard keeps its own Audit over the ports and hosts it owns. A
+  // packet crossing a shard boundary is handed off between ledgers at the
+  // barrier: it must be in-flight here (it departed a boundary port) and
+  // must not already exist in the destination ledger — so every crossing
+  // packet is attributed to exactly one shard, and double-attribution or
+  // loss surfaces as a violation.
+  void transfer_in_flight(std::uint64_t uid, Audit& dst);
+
+  // Folds `other` into this audit after all shards stop: ledgers are
+  // disjoint by construction (a shared uid is a violation), tallies and
+  // totals add. The merged audit is then finalized against the whole
+  // network exactly like a serial run's.
+  void absorb(Audit&& other);
+
  private:
   enum class State : std::uint8_t { kInFlight, kInQueue, kDelivered, kDropped };
 

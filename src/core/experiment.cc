@@ -96,8 +96,10 @@ void Experiment::set_flow_instrumentation(bool on) {
   instrument_flows_ = on;
 }
 
-sim::Timer& Experiment::add_timer() {
-  timers_.emplace_back(sim_);
+sim::Timer& Experiment::add_timer() { return add_timer(sim_); }
+
+sim::Timer& Experiment::add_timer(sim::Simulator& sim) {
+  timers_.emplace_back(sim);
   return timers_.back();
 }
 
@@ -141,6 +143,32 @@ ExperimentResult Experiment::run(sim::Time warmup, sim::Time duration) {
   const sim::Time end = warmup + duration;
   sim_.run_until(end);
 
+  ExperimentResult r = assemble_result(warmup, end, delivered_at_warmup);
+
+  // Conservation check: a run whose books don't balance must not produce
+  // figures. finalize/counters_check also fill r.audit.
+  if (audit_) {
+    AuditReport report = audit_->finalize(net_, sim_.now());
+    if (!report.ok) {
+      throw std::logic_error("conservation audit failed:\n" +
+                             report.to_string());
+    }
+    r.audit = report.totals;
+  } else if (audit_mode_ == AuditMode::kCounters) {
+    AuditReport report = audit_counters_check(net_);
+    if (!report.ok) {
+      throw std::logic_error("conservation counter check failed:\n" +
+                             report.to_string());
+    }
+    r.audit = report.totals;
+  }
+  if (trace_) trace_->flush();
+  return r;
+}
+
+ExperimentResult Experiment::assemble_result(
+    sim::Time warmup, sim::Time end,
+    const std::map<net::ConnId, std::uint64_t>& delivered_at_warmup) {
   ExperimentResult r;
   r.t_start = warmup.sec();
   r.t_end = end.sec();
@@ -176,30 +204,10 @@ ExperimentResult Experiment::run(sim::Time warmup, sim::Time duration) {
   for (auto& c : conns_) {
     const net::ConnId id = c->config().id;
     r.senders[id] = c->sender().counters();
-    const std::uint64_t base = delivered_at_warmup.count(id)
-                                   ? delivered_at_warmup[id]
-                                   : 0;
-    r.delivered[id] = c->receiver().next_expected() - base;
+    const auto base = delivered_at_warmup.find(id);
+    r.delivered[id] = c->receiver().next_expected() -
+                      (base != delivered_at_warmup.end() ? base->second : 0);
   }
-
-  // Conservation check: a run whose books don't balance must not produce
-  // figures. finalize/counters_check also fill r.audit.
-  if (audit_) {
-    AuditReport report = audit_->finalize(net_, sim_.now());
-    if (!report.ok) {
-      throw std::logic_error("conservation audit failed:\n" +
-                             report.to_string());
-    }
-    r.audit = report.totals;
-  } else if (audit_mode_ == AuditMode::kCounters) {
-    AuditReport report = audit_counters_check(net_);
-    if (!report.ok) {
-      throw std::logic_error("conservation counter check failed:\n" +
-                             report.to_string());
-    }
-    r.audit = report.totals;
-  }
-  if (trace_) trace_->flush();
   return r;
 }
 

@@ -122,6 +122,9 @@ class Experiment {
   // the RAII home for scripted interventions (fault plans). References
   // stay valid for the experiment's lifetime.
   sim::Timer& add_timer();
+  // Variant bound to an explicit simulator: in sharded runs a fault shot
+  // must fire on the clock of the shard owning the port it manipulates.
+  sim::Timer& add_timer(sim::Simulator& sim);
 
   // Strength of the conservation check run() performs (default: kFull in
   // Debug builds, kCounters otherwise). run() throws std::logic_error if
@@ -141,6 +144,12 @@ class Experiment {
   ExperimentResult run(sim::Time warmup, sim::Time duration);
 
  private:
+  // The sharded engine drives an Experiment through its private surface:
+  // it replaces run()'s event loop with barrier rounds over shard
+  // simulators but reuses the instrumentation, assembly, and audit
+  // machinery unchanged (see core/shard_engine.h).
+  friend class ShardedEngine;
+
   struct MonitoredPort {
     net::OutputPort* port;
     util::TimeSeries queue;
@@ -150,6 +159,14 @@ class Experiment {
   };
 
   void hook_host(net::NodeId host_id);
+
+  // Result assembly shared by run() and the sharded engine: port traces,
+  // drops, per-connection series, and window-relative delivery counts.
+  // Leaves the audit section to the caller (serial and sharded runs close
+  // their ledgers differently).
+  ExperimentResult assemble_result(
+      sim::Time warmup, sim::Time end,
+      const std::map<net::ConnId, std::uint64_t>& delivered_at_warmup);
 
   sim::Simulator sim_;
   net::Network net_;

@@ -192,10 +192,17 @@ FaultPlan load_fault_file(const std::string& path) {
 
 namespace {
 
+// A transmit port an entry applies to, with the node that owns it — the
+// shard whose clock any scripted shot against the port must fire on.
+struct ResolvedPort {
+  net::OutputPort* port;
+  net::NodeId owner;
+};
+
 // The transmit ports an entry applies to, in (a->b, b->a) order.
-std::vector<net::OutputPort*> resolve_ports(Experiment& exp,
-                                            const CompiledTopology& topo,
-                                            const FaultLinkRef& link) {
+std::vector<ResolvedPort> resolve_ports(Experiment& exp,
+                                        const CompiledTopology& topo,
+                                        const FaultLinkRef& link) {
   net::NodeId a, b;
   try {
     a = topo.id(link.a);
@@ -204,14 +211,14 @@ std::vector<net::OutputPort*> resolve_ports(Experiment& exp,
     throw std::invalid_argument("fault plan references unknown node in link " +
                                 link.a + " - " + link.b);
   }
-  std::vector<net::OutputPort*> ports;
+  std::vector<ResolvedPort> ports;
   if (link.dir != FaultDir::kBA) {
     net::OutputPort* p = exp.network().port_between(a, b);
     if (p == nullptr) {
       throw std::invalid_argument("fault plan references missing link " +
                                   link.a + " -> " + link.b);
     }
-    ports.push_back(p);
+    ports.push_back({p, a});
   }
   if (link.dir != FaultDir::kAB) {
     net::OutputPort* p = exp.network().port_between(b, a);
@@ -219,9 +226,21 @@ std::vector<net::OutputPort*> resolve_ports(Experiment& exp,
       throw std::invalid_argument("fault plan references missing link " +
                                   link.b + " -> " + link.a);
     }
-    ports.push_back(p);
+    ports.push_back({p, b});
   }
   return ports;
+}
+
+// The simulator a port's shots schedule on — the owning node's shard clock
+// under a sharded run, the experiment-wide simulator otherwise. In
+// deterministic-key mode the shot's key stream is the owning node's, so the
+// fault schedule orders identically at any shard count.
+sim::Simulator& shot_sim(Experiment& exp, net::NodeId owner) {
+  sim::Simulator& sim = exp.network().sim_for(owner);
+  if (sim.det_context() != nullptr) {
+    sim.set_det_context(exp.network().node(owner).det_context());
+  }
+  return sim;
 }
 
 }  // namespace
@@ -233,7 +252,8 @@ void FaultPlan::apply(Experiment& exp, const CompiledTopology& topo) const {
   std::map<net::OutputPort*, net::Impairment> merged;
   std::vector<net::OutputPort*> order;
   for (const LinkImpairment& entry : impairments_) {
-    for (net::OutputPort* port : resolve_ports(exp, topo, entry.link)) {
+    for (const ResolvedPort& rp : resolve_ports(exp, topo, entry.link)) {
+      net::OutputPort* port = rp.port;
       auto [it, inserted] = merged.try_emplace(port);
       if (inserted) order.push_back(port);
       net::Impairment& m = it->second;
@@ -256,36 +276,40 @@ void FaultPlan::apply(Experiment& exp, const CompiledTopology& topo) const {
   // schedule_at per intervention, in declaration order), so runs are byte
   // identical to the former raw schedule_at calls.
   for (const LinkOutage& o : outages_) {
-    for (net::OutputPort* port : resolve_ports(exp, topo, o.link)) {
+    for (const ResolvedPort& rp : resolve_ports(exp, topo, o.link)) {
+      net::OutputPort* port = rp.port;
       auto down = [port, policy = o.policy] {
         port->set_down_policy(policy);
         port->set_link_up(false);
       };
       static_assert(sim::Scheduler::Action::fits<decltype(down)>,
                     "link-down event must not heap-allocate");
-      exp.add_timer().arm_at(o.at, std::move(down));
+      sim::Simulator& sim = shot_sim(exp, rp.owner);
+      exp.add_timer(sim).arm_at(o.at, std::move(down));
       auto up = [port] { port->set_link_up(true); };
       static_assert(sim::Scheduler::Action::fits<decltype(up)>,
                     "link-up event must not heap-allocate");
-      exp.add_timer().arm_at(o.at + o.duration, std::move(up));
+      exp.add_timer(sim).arm_at(o.at + o.duration, std::move(up));
     }
   }
   for (const RateChange& c : rate_changes_) {
-    for (net::OutputPort* port : resolve_ports(exp, topo, c.link)) {
+    for (const ResolvedPort& rp : resolve_ports(exp, topo, c.link)) {
+      net::OutputPort* port = rp.port;
       auto change = [port, bps = c.bits_per_second] { port->set_rate(bps); };
       static_assert(sim::Scheduler::Action::fits<decltype(change)>,
                     "rate-change event must not heap-allocate");
-      exp.add_timer().arm_at(c.at, std::move(change));
+      exp.add_timer(shot_sim(exp, rp.owner)).arm_at(c.at, std::move(change));
     }
   }
   for (const DelayChange& c : delay_changes_) {
-    for (net::OutputPort* port : resolve_ports(exp, topo, c.link)) {
+    for (const ResolvedPort& rp : resolve_ports(exp, topo, c.link)) {
+      net::OutputPort* port = rp.port;
       auto change = [port, delay = c.delay] {
         port->set_propagation_delay(delay);
       };
       static_assert(sim::Scheduler::Action::fits<decltype(change)>,
                     "delay-change event must not heap-allocate");
-      exp.add_timer().arm_at(c.at, std::move(change));
+      exp.add_timer(shot_sim(exp, rp.owner)).arm_at(c.at, std::move(change));
     }
   }
 }

@@ -48,8 +48,15 @@ Scenario make_dumbbell_scenario(std::string name, const DumbbellParams& params,
 }  // namespace
 
 ScenarioSummary run_scenario(Scenario& scenario) {
+  return summarize_result(
+      scenario.exp->run(scenario.warmup, scenario.duration),
+      scenario.epoch_gap_sec);
+}
+
+ScenarioSummary summarize_result(ExperimentResult result,
+                                 double epoch_gap_sec) {
   ScenarioSummary s;
-  s.result = scenario.exp->run(scenario.warmup, scenario.duration);
+  s.result = std::move(result);
   const ExperimentResult& r = s.result;
   const double from = r.t_start;
   const double to = r.t_end;
@@ -74,7 +81,7 @@ ScenarioSummary run_scenario(Scenario& scenario) {
     const util::TimeSeries& b = std::next(it)->second;
     s.cwnd_sync = classify_sync(a, b, from, to, /*dt=*/0.25);
   }
-  s.epochs = analyze_epochs(r.drops, from, to, scenario.epoch_gap_sec);
+  s.epochs = analyze_epochs(r.drops, from, to, epoch_gap_sec);
   s.flows = summarize_flows(r);
   for (const auto& [conn, times] : r.ack_arrivals) {
     s.ack[conn] = ack_compression(times, from, to, r.data_tx_time);

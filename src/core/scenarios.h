@@ -51,6 +51,11 @@ struct ScenarioSummary {
 // experiment (an Experiment can run only once).
 ScenarioSummary run_scenario(Scenario& scenario);
 
+// Computes the same summary from a result obtained elsewhere (the sharded
+// engine, a replayed trace): run_scenario is this over Experiment::run.
+ScenarioSummary summarize_result(ExperimentResult result,
+                                 double epoch_gap_sec = 2.0);
+
 // --- §3.1 / Fig. 2: one-way traffic -----------------------------------
 // `conns` Tahoe connections Host-1 -> Host-2. Defaults are the figure's:
 // 3 connections, tau = 1 s, 20-packet buffers.

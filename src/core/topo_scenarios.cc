@@ -192,7 +192,7 @@ Topology ring_topology(const RingParams& p) {
   return t;
 }
 
-Scenario ring_scenario(const RingParams& p) {
+TopoSpec ring_spec(const RingParams& p) {
   if (p.switches < 3) {
     throw std::invalid_argument("ring needs at least 3 switches");
   }
@@ -213,7 +213,11 @@ Scenario ring_scenario(const RingParams& p) {
         sim::Time::seconds(rng.uniform(0.0, p.start_spread_sec));
     spec.traffic.add(std::move(c));
   }
-  return make_topo_scenario(spec);
+  return spec;
+}
+
+Scenario ring_scenario(const RingParams& p) {
+  return make_topo_scenario(ring_spec(p));
 }
 
 // ---------------------------------------------------------- parking lot
@@ -241,7 +245,7 @@ Topology parking_lot_topology(const ParkingLotParams& p) {
   return t;
 }
 
-Scenario parking_lot_scenario(const ParkingLotParams& p) {
+TopoSpec parking_lot_spec(const ParkingLotParams& p) {
   if (p.hops < 1) {
     throw std::invalid_argument("parking lot needs at least 1 hop");
   }
@@ -269,7 +273,11 @@ Scenario parking_lot_scenario(const ParkingLotParams& p) {
     cross.seed = util::mix_seed(p.seed, hop + 1);
     spec.traffic.add(std::move(cross));
   }
-  return make_topo_scenario(spec);
+  return spec;
+}
+
+Scenario parking_lot_scenario(const ParkingLotParams& p) {
+  return make_topo_scenario(parking_lot_spec(p));
 }
 
 // ------------------------------------------------------ datacenter incast
@@ -375,7 +383,7 @@ Topology waxman_topology(const WaxmanParams& p) {
   return t;
 }
 
-Scenario waxman_scenario(const WaxmanParams& p) {
+TopoSpec waxman_spec(const WaxmanParams& p) {
   TopoSpec spec;
   spec.name = "waxman";
   spec.topo = waxman_topology(p);
@@ -394,7 +402,11 @@ Scenario waxman_scenario(const WaxmanParams& p) {
     c.start_time = sim::Time::seconds(rng.uniform(0.0, p.start_spread_sec));
     spec.traffic.add(std::move(c));
   }
-  return make_topo_scenario(spec);
+  return spec;
+}
+
+Scenario waxman_scenario(const WaxmanParams& p) {
+  return make_topo_scenario(waxman_spec(p));
 }
 
 }  // namespace tcpdyn::core

@@ -98,6 +98,7 @@ struct RingParams {
 };
 
 Topology ring_topology(const RingParams& params);
+TopoSpec ring_spec(const RingParams& params);
 Scenario ring_scenario(const RingParams& params);
 
 // --- parking lot: a trunk chain with per-hop cross traffic ----------------
@@ -121,6 +122,7 @@ struct ParkingLotParams {
 };
 
 Topology parking_lot_topology(const ParkingLotParams& params);
+TopoSpec parking_lot_spec(const ParkingLotParams& params);
 Scenario parking_lot_scenario(const ParkingLotParams& params);
 
 // --- datacenter incast: N-to-1 fan-in with open-loop session churn --------
@@ -181,6 +183,7 @@ struct WaxmanParams {
 };
 
 Topology waxman_topology(const WaxmanParams& params);
+TopoSpec waxman_spec(const WaxmanParams& params);
 Scenario waxman_scenario(const WaxmanParams& params);
 
 }  // namespace tcpdyn::core

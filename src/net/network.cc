@@ -12,9 +12,9 @@ namespace tcpdyn::net {
 
 NodeId Network::add_host(std::string name) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
-  nodes_.push_back(
-      {std::make_unique<Host>(sim_, id, std::move(name), host_processing_),
-       /*host=*/true});
+  nodes_.push_back({std::make_unique<Host>(sim_for(id), id, std::move(name),
+                                           host_processing_),
+                    /*host=*/true});
   static_cast<Host&>(*nodes_.back().node).set_observer(observer_);
   adjacency_.emplace_back();
   return id;
@@ -62,7 +62,8 @@ void Network::connect(NodeId a, NodeId b, std::int64_t bits_per_second,
     QdiscConfig config = qdisc;
     config.limit = limit;
     auto port = std::make_unique<OutputPort>(
-        sim_, nodes_[from].node->name() + "->" + nodes_[to].node->name(),
+        sim_for(from),
+        nodes_[from].node->name() + "->" + nodes_[to].node->name(),
         bits_per_second, propagation_delay, config, seed);
     port->set_peer(nodes_[to].node.get());
     port->set_observer(observer_);

@@ -23,6 +23,18 @@ class Network {
                    sim::Time host_processing = sim::Time::microseconds(100))
       : sim_(sim), host_processing_(host_processing) {}
 
+  // Sharded construction: maps a node id to the simulator its shard runs on.
+  // Must be installed before any add_host/connect call; every node's hosts,
+  // ports, and endpoints then schedule on their owning shard's clock. Serial
+  // runs leave it unset and use the network-wide simulator throughout.
+  using SimResolver = std::function<sim::Simulator&(NodeId)>;
+  void set_sim_resolver(SimResolver resolver) {
+    sim_resolver_ = std::move(resolver);
+  }
+  sim::Simulator& sim_for(NodeId id) {
+    return sim_resolver_ ? sim_resolver_(id) : sim_;
+  }
+
   NodeId add_host(std::string name);
   NodeId add_switch(std::string name);
 
@@ -61,6 +73,9 @@ class Network {
 
   Host& host(NodeId id);
   Switch& switch_node(NodeId id);
+  // Generic access when the caller does not care which kind it is (the
+  // sharded engine resolving deterministic contexts by node id).
+  Node& node(NodeId id) { return *nodes_.at(id).node; }
   bool is_host(NodeId id) const;
   std::size_t node_count() const { return nodes_.size(); }
 
@@ -93,6 +108,7 @@ class Network {
 
   sim::Simulator& sim_;
   sim::Time host_processing_;
+  SimResolver sim_resolver_;
   PacketObserver* observer_ = nullptr;
   std::vector<NodeSlot> nodes_;
   std::vector<std::vector<NodeId>> adjacency_;

@@ -4,12 +4,15 @@
 #include <string>
 
 #include "net/packet.h"
+#include "sim/det_context.h"
 
 namespace tcpdyn::net {
 
 class Node {
  public:
-  Node(NodeId id, std::string name) : id_(id), name_(std::move(name)) {}
+  Node(NodeId id, std::string name) : id_(id), name_(std::move(name)) {
+    det_ctx_.id = id;
+  }
   virtual ~Node() = default;
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -20,9 +23,14 @@ class Node {
   NodeId id() const { return id_; }
   const std::string& name() const { return name_; }
 
+  // Deterministic ordering identity for sharded runs (sim/det_context.h):
+  // events this node emits are tie-broken by (node id, emission count).
+  sim::DetContext* det_context() { return &det_ctx_; }
+
  private:
   NodeId id_;
   std::string name_;
+  sim::DetContext det_ctx_;
 };
 
 }  // namespace tcpdyn::net

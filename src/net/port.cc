@@ -119,14 +119,22 @@ void OutputPort::finish_transmission() {
     }
   }
   if (!lost && peer_ != nullptr) {
-    // Propagation: delivery after the fixed delay plus any reorder jitter.
-    // Capture the packet by value; the port does not track in-flight packets.
-    auto deliver = [peer = peer_, p = std::move(*pkt)]() mutable {
-      peer->receive(std::move(p));
-    };
-    static_assert(sim::Scheduler::Action::fits<decltype(deliver)>,
-                  "propagation event (pointer + Packet) must stay inline");
-    sim_.schedule(propagation_delay_ + extra, std::move(deliver));
+    if (cross_handoff_) {
+      // Shard-boundary link: the engine carries the packet (and its ordering
+      // key, drawn from this shard's active context) to the peer shard.
+      cross_handoff_(*this, now + propagation_delay_ + extra, std::move(*pkt));
+    } else {
+      // Propagation: delivery after the fixed delay plus any reorder jitter.
+      // Capture the packet by value; the port does not track in-flight
+      // packets.
+      auto deliver = [peer = peer_, p = std::move(*pkt)]() mutable {
+        peer->receive(std::move(p));
+      };
+      static_assert(sim::Scheduler::Action::fits<decltype(deliver)>,
+                    "propagation event (pointer + Packet) must stay inline");
+      sim_.schedule_handoff(propagation_delay_ + extra, peer_->det_context(),
+                            std::move(deliver));
+    }
   }
   if (!queue_->empty()) start_transmission();
 }

@@ -50,6 +50,19 @@ class OutputPort {
              const QdiscConfig& qdisc, std::uint64_t drop_seed = 1);
 
   void set_peer(Node* peer) { peer_ = peer; }
+  Node* peer() const { return peer_; }
+
+  // Simulator this port schedules on (its owning node's shard in sharded
+  // runs; the network-wide simulator otherwise).
+  sim::Simulator& sim() { return sim_; }
+
+  // Cross-shard handoff: when set, finish_transmission hands each surviving
+  // packet to this callback — with its absolute arrival time, propagation
+  // and reorder jitter already applied — instead of scheduling delivery
+  // locally. The sharded engine uses it to route packets whose peer node
+  // lives on another shard through that shard's mailbox.
+  using CrossHandoff = std::function<void(OutputPort&, sim::Time, Packet)>;
+  void set_cross_handoff(CrossHandoff fn) { cross_handoff_ = std::move(fn); }
 
   // Enqueues for transmission; starts the transmitter if idle. Drops (and
   // fires on_drop) when the buffer is full.
@@ -159,6 +172,7 @@ class OutputPort {
   sim::Time propagation_delay_;
   std::unique_ptr<QueueDiscipline> queue_;
   Node* peer_ = nullptr;
+  CrossHandoff cross_handoff_;  // set only on shard-boundary ports
   PacketObserver* observer_ = nullptr;
   bool transmitting_ = false;
   bool record_busy_ = false;

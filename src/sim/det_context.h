@@ -1,0 +1,30 @@
+// DetContext: per-entity ordering identity for sharded (deterministic-key)
+// runs. Serial runs break ties among simultaneous events with a global
+// insertion counter; that counter cannot be reproduced when shards dispatch
+// concurrently, so sharded runs key every event by (firing time, birth time,
+// det tie) instead. The tie packs the emitting entity's id with its private
+// emission counter — both evolve identically for any shard count, so the
+// total event order is shard-count-invariant by construction.
+#pragma once
+
+#include <cstdint>
+
+namespace tcpdyn::sim {
+
+struct DetContext {
+  std::uint32_t id = 0;       // entity id, < 2^24 (node id or engine-reserved)
+  std::uint64_t emitted = 0;  // events emitted while this context was active
+};
+
+inline constexpr int kDetTieEmittedBits = 40;
+inline constexpr std::uint32_t kDetCtxMaxId = (1u << 24) - 1;
+
+// Draws the next tie value from `ctx`: entity id in the top 24 bits, the
+// post-bump emission counter in the low 40. (id, emitted) pairs are globally
+// unique, so ties form a strict total order.
+inline std::uint64_t det_tie_next(DetContext& ctx) {
+  return (static_cast<std::uint64_t>(ctx.id) << kDetTieEmittedBits) |
+         (ctx.emitted++ & ((std::uint64_t{1} << kDetTieEmittedBits) - 1));
+}
+
+}  // namespace tcpdyn::sim

@@ -21,10 +21,23 @@ bool EventHandle::pending() const {
 }
 
 EventHandle Scheduler::schedule_at(Time at, Action action) {
+  return schedule_impl(at, next_seq_++, 0, nullptr, std::move(action));
+}
+
+EventHandle Scheduler::schedule_at_keyed(Time at, std::uint64_t seq,
+                                         std::uint64_t det_tie,
+                                         DetContext* ctx, Action action) {
+  return schedule_impl(at, seq, det_tie, ctx, std::move(action));
+}
+
+EventHandle Scheduler::schedule_impl(Time at, std::uint64_t seq,
+                                     std::uint64_t det_tie, DetContext* ctx,
+                                     Action action) {
   const std::uint32_t slot = acquire_slot();
   Slot& s = slots_[slot];
   s.action = std::move(action);
-  const std::uint64_t seq = next_seq_++;
+  s.det_tie = det_tie;
+  s.ctx = ctx;
   ++live_events_;
   if (backend_ == TimerBackend::kWheel &&
       TimerWheelState::tick_of(at.ns()) >= wheel_.cursor) {
@@ -73,8 +86,10 @@ Time Scheduler::run_next() {
   // re-arm its own handle (pending() must already read false) and may
   // schedule new events into the just-freed slot.
   Action action = std::move(slots_[entry.slot].action);
+  DetContext* const dctx = slots_[entry.slot].ctx;
   release_slot(entry.slot);
   --live_events_;
+  if (dctx != nullptr) *active_ref_ = dctx;
   action();
   return entry.at;
 }
@@ -105,7 +120,7 @@ void Scheduler::heap_push(Entry entry) {
   std::size_t i = heap_.size() - 1;
   while (i > 0) {
     const std::size_t parent = (i - 1) / 2;
-    if (!before(heap_[i], heap_[parent])) break;
+    if (!entry_before(heap_[i], heap_[parent])) break;
     std::swap(heap_[i], heap_[parent]);
     i = parent;
   }
@@ -122,8 +137,8 @@ void Scheduler::heap_pop_front() {
     if (left >= n) break;
     const std::size_t right = left + 1;
     std::size_t smallest = left;
-    if (right < n && before(heap_[right], heap_[left])) smallest = right;
-    if (!before(heap_[smallest], heap_[i])) break;
+    if (right < n && entry_before(heap_[right], heap_[left])) smallest = right;
+    if (!entry_before(heap_[smallest], heap_[i])) break;
     std::swap(heap_[i], heap_[smallest]);
     i = smallest;
   }
@@ -148,8 +163,9 @@ void Scheduler::maybe_compact() {
     return slots_[e.slot].generation != e.generation;
   };
   heap_.erase(std::remove_if(heap_.begin(), heap_.end(), dead), heap_.end());
-  std::make_heap(heap_.begin(), heap_.end(),
-                 [](const Entry& a, const Entry& b) { return before(b, a); });
+  std::make_heap(
+      heap_.begin(), heap_.end(),
+      [this](const Entry& a, const Entry& b) { return entry_before(b, a); });
 }
 
 void Scheduler::wheel_insert(std::uint32_t slot) {

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/det_context.h"
 #include "sim/time.h"
 #include "sim/timer_wheel.h"
 #include "util/inline_function.h"
@@ -77,6 +78,19 @@ class Scheduler {
   // of the last event popped.
   EventHandle schedule_at(Time at, Action action);
 
+  // Deterministic-key variant used by sharded runs: the caller supplies the
+  // (seq, det_tie) ordering key — seq is the event's birth time, det_tie a
+  // per-entity draw from det_tie_next — plus the dispatch context published
+  // as the active context when the event runs. Must not be mixed with plain
+  // schedule_at on the same scheduler (the seq spaces differ).
+  EventHandle schedule_at_keyed(Time at, std::uint64_t seq,
+                                std::uint64_t det_tie, DetContext* ctx,
+                                Action action);
+
+  // Registers the location where run_next publishes the dispatched event's
+  // DetContext (sharded runs only; slots carry a null context otherwise).
+  void bind_active_context(DetContext** ref) { active_ref_ = ref; }
+
   // True when no live (non-cancelled, non-fired) events remain. O(1) and
   // genuinely const: the live count is maintained at cancel/fire time.
   bool empty() const { return live_events_ == 0; }
@@ -103,6 +117,8 @@ class Scheduler {
     Action action;
     Time at;                 // wheel only: absolute firing time
     std::uint64_t seq = 0;   // wheel only: insertion sequence for FIFO ties
+    std::uint64_t det_tie = 0;    // keyed mode: third-level ordering key
+    DetContext* ctx = nullptr;    // keyed mode: dispatch context
     std::uint32_t generation = 0;
     std::uint32_t next_free = kNilSlot;
     std::uint32_t wheel_prev = kNilSlot;
@@ -119,9 +135,16 @@ class Scheduler {
     std::uint32_t generation;
   };
 
-  static bool before(const Entry& a, const Entry& b) {
+  bool entry_before(const Entry& a, const Entry& b) const {
     if (a.at != b.at) return a.at < b.at;
-    return a.seq < b.seq;
+    if (a.seq != b.seq) return a.seq < b.seq;
+    // Distinct events never share a seq in serial runs (global insertion
+    // counter), so this compare is reachable only in keyed (sharded) mode,
+    // where seq is the birth time and the per-entity tie breaks the
+    // collision. A tombstone whose slot was recycled may read the new
+    // occupant's tie, but that only permutes equal-(at, seq) entries —
+    // tombstones are dropped unexecuted, so dispatch order is unaffected.
+    return slots_[a.slot].det_tie < slots_[b.slot].det_tie;
   }
 
   bool is_pending(std::uint32_t slot, std::uint32_t generation) const {
@@ -152,12 +175,16 @@ class Scheduler {
   void wheel_cascade(int level, int idx);        // bucket -> lower levels
   void wheel_far_jump();                         // re-bucket beyond-horizon set
 
+  EventHandle schedule_impl(Time at, std::uint64_t seq, std::uint64_t det_tie,
+                            DetContext* ctx, Action action);
+
   std::vector<Entry> heap_;
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNilSlot;
   std::uint64_t next_seq_ = 0;
   std::size_t live_events_ = 0;
   TimerBackend backend_ = TimerBackend::kSlab;
+  DetContext** active_ref_ = nullptr;
   TimerWheelState wheel_;
 };
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "sim/det_context.h"
 #include "sim/scheduler.h"
 #include "sim/time.h"
 
@@ -13,7 +14,9 @@ namespace tcpdyn::sim {
 class Simulator {
  public:
   explicit Simulator(TimerBackend backend = default_timer_backend())
-      : scheduler_(backend) {}
+      : scheduler_(backend) {
+    scheduler_.bind_active_context(&ctx_);
+  }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -41,11 +44,45 @@ class Simulator {
 
   std::uint64_t events_executed() const { return events_executed_; }
 
+  // --- deterministic-key (sharded) mode ---------------------------------
+  // While a DetContext is active, every schedule call is keyed by (firing
+  // time, birth time = now(), det tie drawn from the active context) instead
+  // of the scheduler's insertion counter, and the context is re-published at
+  // each dispatch so scheduled children inherit the dispatching entity's
+  // identity. Serial runs never activate a context and are untouched.
+  void set_det_context(DetContext* ctx) { ctx_ = ctx; }
+  DetContext* det_context() const { return ctx_; }
+
+  // Port handoff: keyed from the *active* (transmitting-side) context but
+  // dispatched under `dispatch` (the receiving node's context), so events
+  // the receiver schedules inherit its identity. Plain schedule when no
+  // context is active.
+  EventHandle schedule_handoff(Time delay, DetContext* dispatch,
+                               Scheduler::Action action);
+
+  // Externally keyed insert (cross-shard mailbox drain): the caller supplies
+  // the key computed on the transmitting shard.
+  EventHandle schedule_at_keyed(Time at, std::uint64_t seq,
+                                std::uint64_t det_tie, DetContext* dispatch,
+                                Scheduler::Action action);
+
+  // Windowed run for conservative barrier rounds: executes events strictly
+  // before `horizon` and leaves the clock at the last event executed (only
+  // advance_clock_to moves an idle clock forward).
+  void run_before(Time horizon);
+
+  // Earliest pending event time; Time::max() when the queue is empty.
+  Time next_event_time() { return scheduler_.next_time(); }
+
+  // Barrier-round bookkeeping: jumps the idle clock forward (t >= now()).
+  void advance_clock_to(Time t);
+
  private:
   Scheduler scheduler_;
   Time now_ = Time::zero();
   bool stopped_ = false;
   std::uint64_t events_executed_ = 0;
+  DetContext* ctx_ = nullptr;
 };
 
 }  // namespace tcpdyn::sim

@@ -18,6 +18,16 @@ Connection::Connection(net::Network& network, ConnectionConfig config)
   auto& src = network.host(config.src_host);
   auto& dst = network.host(config.dst_host);
 
+  // Sharded (deterministic-key) runs: everything an endpoint schedules at
+  // setup time — the start/stop events below, any controller timers — is
+  // keyed by its host's context, so the key stream is a function of the
+  // host alone and not of which shard builds it. Serial runs have no
+  // context and skip this entirely.
+  sim::Simulator& ssim = network.sim_for(config.src_host);
+  if (ssim.det_context() != nullptr) ssim.set_det_context(src.det_context());
+  sim::Simulator& dsim = network.sim_for(config.dst_host);
+  if (dsim.det_context() != nullptr) dsim.set_det_context(dst.det_context());
+
   CcConfig cc;
   cc.algo = config.kind;
   cc.fixed_window = config.fixed_window;
@@ -27,7 +37,8 @@ Connection::Connection(net::Network& network, ConnectionConfig config)
   cc.cubic = config.cubic;
   cc.vegas = config.vegas;
   cc.bbr = config.bbr;
-  sender_ = std::make_unique<WindowSender>(network.sim(), src, sp,
+  sender_ = std::make_unique<WindowSender>(network.sim_for(config.src_host),
+                                           src, sp,
                                            make_congestion_control(cc));
 
   ReceiverParams rp;
@@ -40,7 +51,8 @@ Connection::Connection(net::Network& network, ConnectionConfig config)
   // The receiver advertises SACK blocks exactly when the sender's
   // controller runs scoreboard recovery (both ends negotiate the option).
   rp.sack = sender_->cc().wants_sack();
-  receiver_ = std::make_unique<Receiver>(network.sim(), dst, rp);
+  receiver_ =
+      std::make_unique<Receiver>(network.sim_for(config.dst_host), dst, rp);
 
   sender_->start(config.start_time);
   if (config.stop_time > sim::Time::zero()) {

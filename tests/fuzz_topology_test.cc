@@ -15,11 +15,19 @@
 //     exactly one cause: queue + down + fault == dropped
 #include <gtest/gtest.h>
 
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
 #include "core/chain.h"
 #include "core/experiment.h"
+#include "core/shard_engine.h"
+#include "core/topology.h"
 #include "net/fault.h"
 #include "net/port.h"
 #include "net/queue.h"
+#include "sim/timer_wheel.h"
 #include "util/rng.h"
 
 namespace tcpdyn::core {
@@ -219,6 +227,245 @@ TEST_P(FuzzTopology, InvariantsHoldAndDeterministic) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTopology,
                          ::testing::Range<std::uint64_t>(1, 21));
+
+// --- sharded fuzz ---------------------------------------------------------
+// The same philosophy pointed at the sharded engine: a random TopoSpec
+// (chain topology, qdisc zoo, random flows) under a random declarative
+// fault plan (impairments, outages, rate and delay changes), run at a
+// random shard count on a random timer backend, must reproduce the
+// shards=1 run of the identical spec bit for bit — counters, cwnd
+// trajectories, drop log, and the merged conservation ledger, which must
+// also close with every drop attributed to exactly one cause.
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_double(std::uint64_t h, double d) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return fnv1a(h, bits);
+}
+
+// Everything observable about a run, folded into comparable form.
+std::string outcome_string(const ExperimentResult& r) {
+  std::string out;
+  char buf[256];
+  for (const auto& [id, c] : r.senders) {
+    std::snprintf(buf, sizeof(buf),
+                  "c%u sent=%" PRIu64 " retx=%" PRIu64 " acks=%" PRIu64
+                  " dup=%" PRIu64 " to=%" PRIu64 " dlv=%" PRIu64 "\n",
+                  id, c.data_sent, c.retransmits, c.acks_received,
+                  c.dup_ack_losses, c.timeout_losses, r.delivered.at(id));
+    out += buf;
+  }
+  for (std::size_t i = 0; i < r.ports.size(); ++i) {
+    const auto& q = r.ports[i].counters;
+    std::snprintf(buf, sizeof(buf),
+                  "p%zu arr=%" PRIu64 " dep=%" PRIu64 " drop=%" PRIu64
+                  " max=%zu qn=%zu\n",
+                  i, q.arrivals, q.departures, q.drops, q.max_length,
+                  r.ports[i].queue.size());
+    out += buf;
+  }
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& [id, series] : r.cwnd) {
+    h = fnv1a(h, id);
+    for (const auto& pt : series.points()) {
+      h = hash_double(h, pt.time);
+      h = hash_double(h, pt.value);
+    }
+  }
+  std::snprintf(buf, sizeof(buf),
+                "drops=%zu cwnd=%016" PRIx64 " created=%" PRIu64
+                " dlv=%" PRIu64 " drop=%" PRIu64 " q=%" PRIu64 " down=%" PRIu64
+                " fault=%" PRIu64 "\n",
+                r.drops.size(), h, r.audit.created, r.audit.delivered,
+                r.audit.dropped, r.audit.drops_queue, r.audit.drops_down,
+                r.audit.drops_fault);
+  out += buf;
+  return out;
+}
+
+// A random chain-of-switches TopoSpec with a seeded declarative fault plan:
+// the spec-level twin of run_fuzz's imperative network.
+TopoSpec random_spec(std::uint64_t seed) {
+  util::Rng rng(seed);
+  TopoSpec spec;
+  spec.name = "fuzz-sharded";
+  Topology& t = spec.topo;
+
+  const std::size_t n_switches = 2 + rng.next_below(4);  // 2..5
+  std::vector<std::size_t> switches;
+  std::vector<std::string> switch_names;
+  for (std::size_t i = 0; i < n_switches; ++i) {
+    switch_names.push_back("S" + std::to_string(i));
+    switches.push_back(t.add_switch(switch_names.back()));
+  }
+  std::vector<std::string> hosts;
+  for (std::size_t i = 0; i < n_switches; ++i) {
+    const std::size_t n_hosts = 1 + rng.next_below(2);
+    for (std::size_t k = 0; k < n_hosts; ++k) {
+      const std::string name = "H" + std::to_string(hosts.size());
+      const std::size_t h = t.add_host(name);
+      t.add_link(h, switches[i],
+                 1'000'000 + static_cast<std::int64_t>(rng.next_below(20'000'000)),
+                 sim::Time::microseconds(
+                     static_cast<std::int64_t>(50 + rng.next_below(1000))));
+      hosts.push_back(name);
+    }
+  }
+  for (std::size_t i = 0; i + 1 < n_switches; ++i) {
+    const std::size_t buffer = 5 + rng.next_below(40);
+    net::QdiscConfig qdisc;
+    switch (rng.next_below(8)) {
+      case 0:
+        qdisc.kind = net::QdiscKind::kRandomDrop;
+        break;
+      case 1:
+      case 2:
+        qdisc.kind = net::QdiscKind::kRed;
+        qdisc.red.min_th = 1 + buffer / 2;
+        qdisc.red.max_th = 2 + (3 * buffer) / 4;
+        qdisc.red.ecn = rng.next_below(2) == 0;
+        break;
+      case 3:
+        qdisc.kind = net::QdiscKind::kDrr;
+        qdisc.drr.quantum_bytes = 100 + rng.next_below(1000);
+        break;
+      default:
+        qdisc.kind = net::QdiscKind::kDropTail;
+        break;
+    }
+    t.add_link(switches[i], switches[i + 1],
+               20'000 + static_cast<std::int64_t>(rng.next_below(200'000)),
+               sim::Time::milliseconds(
+                   static_cast<std::int64_t>(1 + rng.next_below(200))),
+               net::QueueLimit::of(buffer), qdisc);
+    t.monitor(switches[i], switches[i + 1]);
+    t.monitor(switches[i + 1], switches[i]);
+  }
+
+  // Declarative fault plan over the trunk links.
+  const auto trunk_ref = [&](FaultDir dir) {
+    const std::size_t i = rng.next_below(n_switches - 1);
+    return FaultLinkRef{switch_names[i], switch_names[i + 1], dir};
+  };
+  spec.faults.set_seed(rng.next_u64());
+  if (rng.next_below(2) == 0) {
+    LinkImpairment imp;
+    imp.link = trunk_ref(rng.next_below(2) == 0 ? FaultDir::kAB
+                                                : FaultDir::kBA);
+    switch (rng.next_below(3)) {
+      case 0:
+        imp.model.loss = rng.uniform(0.01, 0.12);
+        break;
+      case 1: {
+        net::GilbertElliott ge;
+        ge.p_good_to_bad = rng.uniform(0.005, 0.05);
+        ge.p_bad_to_good = rng.uniform(0.3, 0.7);
+        ge.loss_bad = rng.uniform(0.1, 0.4);
+        imp.model.gilbert = ge;
+        break;
+      }
+      default:
+        imp.model.reorder = rng.uniform(0.1, 0.6);
+        imp.model.reorder_max = sim::Time::milliseconds(
+            static_cast<std::int64_t>(1 + rng.next_below(50)));
+        break;
+    }
+    spec.faults.add_impairment(imp);
+  }
+  const std::size_t outages = rng.next_below(3);  // 0..2
+  for (std::size_t k = 0; k < outages; ++k) {
+    LinkOutage o;
+    o.link = trunk_ref(FaultDir::kBoth);
+    o.at = sim::Time::seconds(rng.uniform(5.0, 120.0));
+    o.duration = sim::Time::seconds(rng.uniform(0.2, 2.0));
+    o.policy = rng.next_below(2) == 0 ? net::DownPolicy::kDrain
+                                      : net::DownPolicy::kDiscard;
+    spec.faults.add_outage(o);
+  }
+  if (rng.next_below(3) == 0) {
+    RateChange c;
+    c.link = trunk_ref(FaultDir::kBoth);
+    c.at = sim::Time::seconds(rng.uniform(10.0, 100.0));
+    c.bits_per_second =
+        10'000 + static_cast<std::int64_t>(rng.next_below(100'000));
+    spec.faults.add_rate_change(c);
+  }
+  if (rng.next_below(3) == 0) {
+    // Delay changes shrink the conservative lookahead: plan_shards folds the
+    // scripted value into the link's effective minimum delay up front.
+    DelayChange c;
+    c.link = trunk_ref(FaultDir::kBoth);
+    c.at = sim::Time::seconds(rng.uniform(10.0, 100.0));
+    c.delay = sim::Time::milliseconds(
+        static_cast<std::int64_t>(1 + rng.next_below(200)));
+    spec.faults.add_delay_change(c);
+  }
+
+  const std::size_t n_conns = 2 + rng.next_below(7);
+  for (std::size_t c = 0; c < n_conns; ++c) {
+    ConnSpec cs;
+    const std::size_t a = rng.next_below(hosts.size());
+    std::size_t b = rng.next_below(hosts.size());
+    if (b == a) b = (b + 1) % hosts.size();
+    cs.src = hosts[a];
+    cs.dst = hosts[b];
+    const std::uint64_t kind = rng.next_below(4);
+    cs.kind = kind == 0   ? tcp::SenderKind::kReno
+              : kind == 1 ? tcp::SenderKind::kFixedWindow
+                          : tcp::SenderKind::kTahoe;
+    cs.fixed_window = 2 + static_cast<std::uint32_t>(rng.next_below(12));
+    cs.delayed_ack = rng.next_below(3) == 0;
+    cs.ecn = rng.next_below(3) == 0;
+    cs.start_time = sim::Time::seconds(rng.uniform(0.0, 3.0));
+    spec.traffic.add(cs);
+  }
+  spec.warmup = sim::Time::seconds(20.0);
+  spec.duration = sim::Time::seconds(120.0);
+  return spec;
+}
+
+class FuzzShardedTopology : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzShardedTopology, ShardCountAndBackendInvariant) {
+  const std::uint64_t seed = GetParam();
+  // Harness draws come from an independent stream so the spec stays a pure
+  // function of the seed.
+  util::Rng harness(seed * 7919 + 13);
+  const sim::TimerBackend backend = harness.next_below(2) == 0
+                                        ? sim::TimerBackend::kSlab
+                                        : sim::TimerBackend::kWheel;
+  const std::size_t shards = 2 + harness.next_below(3);  // 2..4
+
+  const TopoSpec spec = random_spec(seed);
+  ShardedEngine ref_engine(spec, 1, AuditMode::kFull, backend);
+  const ExperimentResult ref = ref_engine.run();
+  ShardedEngine engine(spec, shards, AuditMode::kFull, backend);
+  const ExperimentResult r = engine.run();
+
+  EXPECT_EQ(outcome_string(r), outcome_string(ref))
+      << "seed " << seed << " shards " << shards << " backend "
+      << sim::to_string(backend);
+  // The merged cross-shard ledger closes with single-cause attribution,
+  // whatever the fault plan did.
+  EXPECT_EQ(r.audit.drops_queue + r.audit.drops_down + r.audit.drops_fault,
+            r.audit.dropped)
+      << "seed " << seed;
+  EXPECT_EQ(r.audit.created, r.audit.delivered + r.audit.dropped +
+                                 r.audit.in_queue + r.audit.in_flight)
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzShardedTopology,
+                         ::testing::Range<std::uint64_t>(1, 13));
 
 }  // namespace
 }  // namespace tcpdyn::core

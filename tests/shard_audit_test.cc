@@ -1,0 +1,146 @@
+// Cross-shard audit-ledger semantics: a packet crossing a shard boundary is
+// handed between per-shard ledgers exactly once (transfer_in_flight), shard
+// ledgers merge disjointly (absorb), and the merged ledger closes against
+// the whole network on a faulted sharded run just like a serial run's.
+// Mis-attribution — handing off a uid a shard never owned, handing it to a
+// shard that already has it, or merging overlapping ledgers — must surface
+// as a violation, never as silent double counting.
+#include "core/audit.h"
+
+#include <gtest/gtest.h>
+
+#include "core/shard_engine.h"
+#include "core/topo_scenarios.h"
+#include "net/network.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace tcpdyn::core {
+namespace {
+
+// Two directly-linked hosts observed the way the sharded engine splits a
+// network: the sending host and its transmit port report to `src`, the
+// receiving host reports to `dst` — so a packet in transit is exactly the
+// cross-shard case, and delivery lands in a ledger that never saw the
+// packet's creation unless transfer_in_flight moved it.
+struct SplitNet {
+  sim::Simulator sim;
+  net::Network net{sim};
+  net::NodeId h1, h2;
+  Audit src, dst;
+
+  struct Sink : net::PacketSink {
+    void deliver(const net::Packet&) override {}
+  } sink;
+
+  SplitNet() {
+    h1 = net.add_host("H1");
+    h2 = net.add_host("H2");
+    net.connect(h1, h2, 10'000'000, sim::Time::microseconds(100),
+                net::QueueLimit::infinite(), net::QueueLimit::infinite());
+    net.compute_routes();
+    net.host(h2).register_endpoint(1, net::PacketKind::kData, &sink);
+    net.host(h1).set_observer(&src);
+    net.host(h2).set_observer(&dst);
+    net.port_between(h1, h2)->set_observer(&src);
+  }
+
+  net::Packet packet(std::uint64_t uid) {
+    net::Packet p;
+    p.uid = net::make_packet_uid(1, net::PacketKind::kData, uid);
+    p.conn = 1;
+    p.kind = net::PacketKind::kData;
+    p.size_bytes = 500;
+    p.src = h1;
+    p.dst = h2;
+    return p;
+  }
+};
+
+TEST(ShardAudit, TransferAttributesCrossingPacketToExactlyOneLedger) {
+  SplitNet n;
+  const net::Packet p = n.packet(1);
+  n.net.host(n.h1).send(p);
+  // 500 B at 10 Mb/s serializes in 400 us; propagation adds 100 us. Stop
+  // while the packet is on the wire — in-flight in src, unknown to dst —
+  // and hand it across, exactly what the engine's barrier does.
+  n.sim.run_until(sim::Time::microseconds(450));
+  n.src.transfer_in_flight(p.uid, n.dst);
+  n.sim.run_until(sim::Time::seconds(1));
+
+  Audit merged;
+  merged.absorb(std::move(n.src));
+  merged.absorb(std::move(n.dst));
+  const AuditReport report = merged.finalize(n.net, n.sim.now());
+  EXPECT_TRUE(report.ok) << report.to_string();
+  EXPECT_EQ(report.totals.created, 1u);
+  EXPECT_EQ(report.totals.delivered, 1u);
+  EXPECT_EQ(report.totals.in_flight, 0u);
+}
+
+TEST(ShardAudit, HandoffOfUnknownUidIsViolation) {
+  SplitNet n;
+  // Never created in src — e.g. the same uid handed off twice.
+  n.src.transfer_in_flight(n.packet(7).uid, n.dst);
+  Audit merged;
+  merged.absorb(std::move(n.src));
+  merged.absorb(std::move(n.dst));
+  const AuditReport report = merged.finalize(n.net, n.sim.now());
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(ShardAudit, DoubleAttributionIsViolation) {
+  SplitNet n;
+  const net::Packet p = n.packet(3);
+  n.src.on_create(sim::Time::zero(), p);
+  n.dst.on_create(sim::Time::zero(), p);  // destination already owns the uid
+  n.src.transfer_in_flight(p.uid, n.dst);
+  Audit merged;
+  merged.absorb(std::move(n.src));
+  merged.absorb(std::move(n.dst));
+  const AuditReport report = merged.finalize(n.net, n.sim.now());
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(ShardAudit, MergeOfOverlappingLedgersIsViolation) {
+  SplitNet n;
+  Audit a1, a2;
+  const net::Packet p = n.packet(9);
+  a1.on_create(sim::Time::zero(), p);
+  a2.on_create(sim::Time::zero(), p);
+  a1.absorb(std::move(a2));
+  const AuditReport report = a1.finalize(n.net, n.sim.now());
+  EXPECT_FALSE(report.ok);
+}
+
+// End to end: a faulted chaos run (trunk flaps with discard, burst loss on
+// the ACK path) across 4 shards. ShardedEngine::run throws on any ledger
+// violation, so a passing run proves every crossing packet was attributed
+// to exactly one shard and the merged ledger closed against the network.
+TEST(ShardAudit, MergedLedgerClosesOnFaultedChaosRun) {
+  ChaosParams p;
+  p.flows = 2;
+  p.warmup_sec = 20.0;
+  p.duration_sec = 150.0;
+  p.flap_period_sec = 40.0;
+  p.flaps = 2;
+  p.discard_on_down = true;  // exercise the link-down drop attribution
+  ShardedEngine engine(chaos_spec(p), 4, AuditMode::kFull);
+  const ExperimentResult r = engine.run();
+
+  // The run genuinely crossed shard boundaries...
+  EXPECT_GT(engine.plan().shards, 1u);
+  EXPECT_FALSE(engine.plan().cut_links.empty());
+  // ...and the merged totals obey the conservation law with single-cause
+  // drop attribution, including down-drops from the flaps.
+  EXPECT_EQ(r.audit.created, r.audit.delivered + r.audit.dropped +
+                                 r.audit.in_queue + r.audit.in_flight);
+  EXPECT_EQ(r.audit.dropped,
+            r.audit.drops_queue + r.audit.drops_down + r.audit.drops_fault);
+  EXPECT_GT(r.audit.created, 0u);
+  EXPECT_GT(r.audit.drops_down, 0u);
+  EXPECT_GT(r.audit.drops_fault, 0u);
+}
+
+}  // namespace
+}  // namespace tcpdyn::core

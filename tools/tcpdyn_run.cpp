@@ -10,13 +10,16 @@
 //
 // The scenario may be given positionally (tcpdyn_run topo ...) or via
 // --scenario. Run with --help for the full flag list.
+#include <chrono>
 #include <filesystem>
 #include <iostream>
+#include <optional>
 
 #include "core/cc_matrix.h"
 #include "core/csv_export.h"
 #include "core/report.h"
 #include "core/scenarios.h"
+#include "core/shard_engine.h"
 #include "core/topo_scenarios.h"
 #include "core/topology.h"
 #include "net/queue.h"
@@ -88,6 +91,11 @@ void declare_flags(util::Flags& flags) {
             "scheduler timer backend (identical results; wheel is O(1) "
             "arm/cancel for large flow counts)",
             "slab")
+      .flag("shards", "N",
+            "partition the run across N shard simulators with conservative "
+            "lookahead (identical results at any N; topology-backed "
+            "scenarios only)",
+            1)
       .flag("trace", "PATH", "write a JSONL event trace here", "");
 }
 
@@ -167,7 +175,115 @@ core::Scenario custom_dumbbell(const util::Flags& flags, bool two_way) {
   return s;
 }
 
+// Builds the TopoSpec behind `which` when the scenario is topology-backed
+// (and therefore shardable); nullopt for the hand-rolled dumbbell/chain
+// scenarios. `build` routes these through make_topo_scenario, so the serial
+// and sharded paths run the exact same spec.
+std::optional<core::TopoSpec> build_spec(const std::string& which,
+                                         const util::Flags& flags) {
+  const auto size = [&](const std::string& name) {
+    return static_cast<std::size_t>(flags.get_int(name));
+  };
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  if (which == "ring") {
+    core::RingParams p;
+    if (flags.has("switches")) p.switches = size("switches");
+    if (flags.has("conns")) p.flows = size("conns");
+    p.seed = seed;
+    return core::ring_spec(p);
+  }
+  if (which == "parking-lot") {
+    core::ParkingLotParams p;
+    p.hops = size("hops");
+    p.long_flows = size("long-flows");
+    p.cross_per_hop = size("cross-per-hop");
+    p.seed = seed;
+    return core::parking_lot_spec(p);
+  }
+  if (which == "waxman") {
+    core::WaxmanParams p;
+    if (flags.has("switches")) p.switches = size("switches");
+    if (flags.has("conns")) p.flows = size("conns");
+    p.seed = seed;
+    return core::waxman_spec(p);
+  }
+  if (which == "chaos") {
+    core::ChaosParams p;
+    if (flags.has("tau")) p.tau_sec = flags.get_double("tau");
+    if (flags.has("buffer")) p.buffer = size("buffer");
+    if (flags.has("conns")) p.flows = size("conns");
+    p.ge_loss_bad = flags.get_double("loss");
+    p.outage_sec = flags.get_double("outage");
+    p.flap_period_sec = flags.get_double("flap-period");
+    p.flaps = size("flaps");
+    p.discard_on_down = flags.get_bool("discard-on-down");
+    p.cc = parse_cc_list(flags.get("cc"));
+    // Flap times are anchored to the warmup boundary, so the overrides must
+    // reach the params (the post-build scenario override alone would leave
+    // the flaps scheduled past the end of a shortened run).
+    if (flags.has("warmup")) p.warmup_sec = flags.get_double("warmup");
+    if (flags.has("duration")) p.duration_sec = flags.get_double("duration");
+    p.seed = seed;
+    return core::chaos_spec(p);
+  }
+  if (which == "red-wave") {
+    core::RedWaveParams p;
+    if (flags.has("hops")) p.hops = size("hops");
+    if (flags.has("tau")) p.tau_sec = flags.get_double("tau");
+    if (flags.has("buffer")) p.buffer = size("buffer");
+    if (flags.has("conns")) p.flows = size("conns");
+    if (const auto qdisc = parse_qdisc_flag(flags)) p.qdisc = *qdisc;
+    p.ecn = flags.get_bool("ecn");
+    const std::vector<tcp::CcAlgorithm> cc = parse_cc_list(flags.get("cc"));
+    if (!cc.empty()) p.cc = cc.front();
+    if (flags.has("warmup")) p.warmup_sec = flags.get_double("warmup");
+    if (flags.has("duration")) p.duration_sec = flags.get_double("duration");
+    p.seed = seed;
+    return core::red_wave_spec(p);
+  }
+  if (which == "datacenter" || which == "incast") {
+    core::IncastParams p;
+    p.senders = size("senders");
+    p.flows_per_sender = size("flows-per-sender");
+    if (flags.has("buffer")) p.buffer = size("buffer");
+    p.arrival_rate = flags.get_double("arrival-rate");
+    p.session_sec = flags.get_double("session");
+    const std::vector<tcp::CcAlgorithm> cc = parse_cc_list(flags.get("cc"));
+    if (!cc.empty()) p.cc = cc.front();
+    if (flags.has("warmup")) p.warmup_sec = flags.get_double("warmup");
+    if (flags.has("duration")) p.duration_sec = flags.get_double("duration");
+    p.seed = seed;
+    return core::incast_spec(p);
+  }
+  if (which == "topo") {
+    const std::string file = flags.get("file");
+    if (file.empty()) {
+      throw std::invalid_argument("scenario topo requires --file");
+    }
+    core::TopoSpec spec = core::load_topology_file(file);
+    if (flags.has("faults")) {
+      // A standalone fault schedule composes with (and after) any fault
+      // stanzas the .topo file itself declares.
+      core::FaultPlan extra = core::load_fault_file(flags.get("faults"));
+      if (extra.seed() != spec.faults.seed()) {
+        spec.faults.set_seed(extra.seed());
+      }
+      for (const auto& o : extra.outages()) spec.faults.add_outage(o);
+      for (const auto& c : extra.rate_changes()) spec.faults.add_rate_change(c);
+      for (const auto& c : extra.delay_changes()) {
+        spec.faults.add_delay_change(c);
+      }
+      for (const auto& i : extra.impairments()) spec.faults.add_impairment(i);
+    }
+    return spec;
+  }
+  return std::nullopt;
+}
+
 core::Scenario build(const std::string& which, const util::Flags& flags) {
+  if (std::optional<core::TopoSpec> spec = build_spec(which, flags)) {
+    return core::make_topo_scenario(*spec);
+  }
   const auto size = [&](const std::string& name) {
     return static_cast<std::size_t>(flags.get_int(name));
   };
@@ -201,98 +317,6 @@ core::Scenario build(const std::string& which, const util::Flags& flags) {
   }
   if (which == "oneway") return custom_dumbbell(flags, /*two_way=*/false);
   if (which == "twoway") return custom_dumbbell(flags, /*two_way=*/true);
-  if (which == "ring") {
-    core::RingParams p;
-    if (flags.has("switches")) p.switches = size("switches");
-    if (flags.has("conns")) p.flows = size("conns");
-    p.seed = seed;
-    return core::ring_scenario(p);
-  }
-  if (which == "parking-lot") {
-    core::ParkingLotParams p;
-    p.hops = size("hops");
-    p.long_flows = size("long-flows");
-    p.cross_per_hop = size("cross-per-hop");
-    p.seed = seed;
-    return core::parking_lot_scenario(p);
-  }
-  if (which == "waxman") {
-    core::WaxmanParams p;
-    if (flags.has("switches")) p.switches = size("switches");
-    if (flags.has("conns")) p.flows = size("conns");
-    p.seed = seed;
-    return core::waxman_scenario(p);
-  }
-  if (which == "chaos") {
-    core::ChaosParams p;
-    if (flags.has("tau")) p.tau_sec = flags.get_double("tau");
-    if (flags.has("buffer")) p.buffer = size("buffer");
-    if (flags.has("conns")) p.flows = size("conns");
-    p.ge_loss_bad = flags.get_double("loss");
-    p.outage_sec = flags.get_double("outage");
-    p.flap_period_sec = flags.get_double("flap-period");
-    p.flaps = size("flaps");
-    p.discard_on_down = flags.get_bool("discard-on-down");
-    p.cc = parse_cc_list(flags.get("cc"));
-    // Flap times are anchored to the warmup boundary, so the overrides must
-    // reach the params (the post-build scenario override alone would leave
-    // the flaps scheduled past the end of a shortened run).
-    if (flags.has("warmup")) p.warmup_sec = flags.get_double("warmup");
-    if (flags.has("duration")) p.duration_sec = flags.get_double("duration");
-    p.seed = seed;
-    return core::chaos_scenario(p);
-  }
-  if (which == "red-wave") {
-    core::RedWaveParams p;
-    if (flags.has("hops")) p.hops = size("hops");
-    if (flags.has("tau")) p.tau_sec = flags.get_double("tau");
-    if (flags.has("buffer")) p.buffer = size("buffer");
-    if (flags.has("conns")) p.flows = size("conns");
-    if (const auto qdisc = parse_qdisc_flag(flags)) p.qdisc = *qdisc;
-    p.ecn = flags.get_bool("ecn");
-    const std::vector<tcp::CcAlgorithm> cc = parse_cc_list(flags.get("cc"));
-    if (!cc.empty()) p.cc = cc.front();
-    if (flags.has("warmup")) p.warmup_sec = flags.get_double("warmup");
-    if (flags.has("duration")) p.duration_sec = flags.get_double("duration");
-    p.seed = seed;
-    return core::red_wave_scenario(p);
-  }
-  if (which == "datacenter" || which == "incast") {
-    core::IncastParams p;
-    p.senders = size("senders");
-    p.flows_per_sender = size("flows-per-sender");
-    if (flags.has("buffer")) p.buffer = size("buffer");
-    p.arrival_rate = flags.get_double("arrival-rate");
-    p.session_sec = flags.get_double("session");
-    const std::vector<tcp::CcAlgorithm> cc = parse_cc_list(flags.get("cc"));
-    if (!cc.empty()) p.cc = cc.front();
-    if (flags.has("warmup")) p.warmup_sec = flags.get_double("warmup");
-    if (flags.has("duration")) p.duration_sec = flags.get_double("duration");
-    p.seed = seed;
-    return core::incast_scenario(p);
-  }
-  if (which == "topo") {
-    const std::string file = flags.get("file");
-    if (file.empty()) {
-      throw std::invalid_argument("scenario topo requires --file");
-    }
-    core::TopoSpec spec = core::load_topology_file(file);
-    if (flags.has("faults")) {
-      // A standalone fault schedule composes with (and after) any fault
-      // stanzas the .topo file itself declares.
-      core::FaultPlan extra = core::load_fault_file(flags.get("faults"));
-      if (extra.seed() != spec.faults.seed()) {
-        spec.faults.set_seed(extra.seed());
-      }
-      for (const auto& o : extra.outages()) spec.faults.add_outage(o);
-      for (const auto& c : extra.rate_changes()) spec.faults.add_rate_change(c);
-      for (const auto& c : extra.delay_changes()) {
-        spec.faults.add_delay_change(c);
-      }
-      for (const auto& i : extra.impairments()) spec.faults.add_impairment(i);
-    }
-    return core::make_topo_scenario(spec);
-  }
   throw std::invalid_argument("unknown scenario '" + which + "'");
 }
 
@@ -358,33 +382,95 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  core::Scenario scenario;
-  try {
-    scenario = build(which, flags);
-  } catch (const std::exception& e) {
-    return fail(flags, e.what());
-  }
-
-  if (flags.has("warmup")) {
-    scenario.warmup = sim::Time::seconds(flags.get_double("warmup", 100.0));
-  }
-  if (flags.has("duration")) {
-    scenario.duration = sim::Time::seconds(flags.get_double("duration", 400.0));
-  }
+  core::AuditMode audit_mode = core::kDefaultAuditMode;
   if (flags.has("audit")) {
     const auto mode = core::parse_audit_mode(flags.get("audit"));
     if (!mode) {
       return fail(flags, "unknown --audit mode '" + flags.get("audit") +
                              "' (off|counters|full)");
     }
-    scenario.exp->set_audit_mode(*mode);
-  }
-  if (flags.has("trace")) {
-    scenario.exp->enable_trace(flags.get("trace"));
+    audit_mode = *mode;
   }
 
-  const std::string name = scenario.name;
-  core::ScenarioSummary s = core::run_scenario(scenario);
+  // An explicit --shards routes through the sharded engine even at N=1, so
+  // "--shards 4 is byte-identical to --shards 1" holds exactly; without the
+  // flag the historic serial path runs.
+  const auto shards = static_cast<std::size_t>(flags.get_int("shards"));
+  std::string name;
+  core::ScenarioSummary s;
+  if (flags.has("shards")) {
+    if (shards < 1) return fail(flags, "--shards must be >= 1");
+    // Sharded execution: run the TopoSpec through the conservative-lookahead
+    // engine. Output is bit-identical to --shards 1 (and to the serial path
+    // for runs without cross-node event-time ties).
+    if (flags.has("trace")) {
+      return fail(flags,
+                  "--trace is not supported with --shards "
+                  "(one JSONL stream, many shard clocks)");
+    }
+    std::optional<core::TopoSpec> spec;
+    try {
+      spec = build_spec(which, flags);
+    } catch (const std::exception& e) {
+      return fail(flags, e.what());
+    }
+    if (!spec) {
+      return fail(flags, "--shards requires a topology-backed scenario "
+                         "(ring|parking-lot|waxman|chaos|red-wave|"
+                         "datacenter|topo)");
+    }
+    if (flags.has("warmup")) {
+      spec->warmup = sim::Time::seconds(flags.get_double("warmup", 100.0));
+    }
+    if (flags.has("duration")) {
+      spec->duration = sim::Time::seconds(flags.get_double("duration", 400.0));
+    }
+    name = spec->name;
+    try {
+      core::ShardedEngine engine(*spec, shards, audit_mode);
+      const auto wall0 = std::chrono::steady_clock::now();
+      core::ExperimentResult result = engine.run();
+      const double wall_sec =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall0)
+              .count();
+      s = core::summarize_result(std::move(result), spec->epoch_gap_sec);
+      // Stderr, not stdout: the plan shape, event count, and throughput all
+      // legitimately vary with the shard count, while stdout must stay
+      // byte-identical across shard counts (CI compares it).
+      const core::ShardPlan& plan = engine.plan();
+      std::cerr << "sharded: shards=" << plan.shards
+                << " cut-links=" << plan.cut_links.size()
+                << " lookahead=" << plan.lookahead.sec() << " s"
+                << " events=" << engine.events_executed() << " ("
+                << static_cast<double>(engine.events_executed()) / wall_sec
+                << " events/s)\n";
+    } catch (const std::exception& e) {
+      return fail(flags, e.what());
+    }
+  } else {
+    core::Scenario scenario;
+    try {
+      scenario = build(which, flags);
+    } catch (const std::exception& e) {
+      return fail(flags, e.what());
+    }
+
+    if (flags.has("warmup")) {
+      scenario.warmup = sim::Time::seconds(flags.get_double("warmup", 100.0));
+    }
+    if (flags.has("duration")) {
+      scenario.duration =
+          sim::Time::seconds(flags.get_double("duration", 400.0));
+    }
+    scenario.exp->set_audit_mode(audit_mode);
+    if (flags.has("trace")) {
+      scenario.exp->enable_trace(flags.get("trace"));
+    }
+
+    name = scenario.name;
+    s = core::run_scenario(scenario);
+  }
   core::print_summary(std::cout, name, s);
 
   if (name == "red-wave") {

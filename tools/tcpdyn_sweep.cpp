@@ -23,6 +23,7 @@
 #include "core/cc_matrix.h"
 #include "core/report.h"
 #include "core/scenarios.h"
+#include "core/shard_engine.h"
 #include "core/sweep.h"
 #include "core/topo_scenarios.h"
 #include "net/queue.h"
@@ -80,6 +81,11 @@ void declare_flags(util::Flags& flags) {
             "scheduler timer backend (identical results; wheel is O(1) "
             "arm/cancel for large flow counts)",
             "slab")
+      .flag("shards", "N",
+            "run every point through the sharded engine on N shard "
+            "simulators (identical results at any N; topology-backed "
+            "scenarios only — composes with --jobs)",
+            1)
       .flag("progress", "log per-point progress and ETA to stderr", false)
       .flag("quiet", "suppress the summary table on stdout", false)
       .flag("audit", "off|counters|full", "conservation-check strength", "")
@@ -101,9 +107,86 @@ double param(const core::SweepPoint& pt, const util::Flags& flags,
   return pt.value_or(name, flags.get_double(name, fallback));
 }
 
+// TopoSpec behind the topology-backed sweep scenarios (the ones --shards
+// can run); nullopt otherwise. build_scenario routes these through
+// make_topo_scenario so serial and sharded points run the same spec.
+std::optional<core::TopoSpec> build_point_spec(const std::string& which,
+                                               const core::SweepPoint& pt,
+                                               const util::Flags& flags) {
+  const auto as_size = [](double v) { return static_cast<std::size_t>(v); };
+  if (which == "ring") {
+    core::RingParams p;
+    p.switches = as_size(param(pt, flags, "switches", 6));
+    p.flows = as_size(param(pt, flags, "conns", 12));
+    p.seed = pt.seed;
+    return core::ring_spec(p);
+  }
+  if (which == "parking-lot") {
+    core::ParkingLotParams p;
+    p.hops = as_size(param(pt, flags, "hops", 4));
+    p.long_flows = as_size(param(pt, flags, "long-flows", 128));
+    p.cross_per_hop = as_size(param(pt, flags, "cross-per-hop", 96));
+    p.seed = pt.seed;
+    return core::parking_lot_spec(p);
+  }
+  if (which == "waxman") {
+    core::WaxmanParams p;
+    p.switches = as_size(param(pt, flags, "switches", 8));
+    p.flows = as_size(param(pt, flags, "conns", 32));
+    p.seed = pt.seed;
+    return core::waxman_spec(p);
+  }
+  if (which == "red-wave") {
+    core::RedWaveParams p;
+    p.hops = as_size(param(pt, flags, "hops", static_cast<double>(p.hops)));
+    p.tau_sec = param(pt, flags, "tau", p.tau_sec);
+    p.buffer = as_size(param(pt, flags, "buffer",
+                             static_cast<double>(p.buffer)));
+    p.flows = as_size(param(pt, flags, "conns",
+                            static_cast<double>(p.flows)));
+    const std::string qdisc = flags.get("qdisc");
+    if (!qdisc.empty()) {
+      const net::QdiscChoice& choice =
+          net::qdisc_registry().require(qdisc, "queue discipline");
+      p.qdisc.kind = choice.kind;
+      p.qdisc.red.ecn = choice.ecn;
+    }
+    p.ecn = flags.get_bool("ecn");
+    p.seed = pt.seed;
+    return core::red_wave_spec(p);
+  }
+  if (which == "chaos") {
+    core::ChaosParams p;
+    p.tau_sec = param(pt, flags, "tau", p.tau_sec);
+    p.buffer = as_size(param(pt, flags, "buffer",
+                             static_cast<double>(p.buffer)));
+    p.flows = as_size(param(pt, flags, "conns",
+                            static_cast<double>(p.flows)));
+    p.ge_loss_bad = param(pt, flags, "loss", p.ge_loss_bad);
+    p.outage_sec = param(pt, flags, "outage", p.outage_sec);
+    p.flap_period_sec = param(pt, flags, "flap-period", p.flap_period_sec);
+    p.flaps = as_size(param(pt, flags, "flaps",
+                            static_cast<double>(p.flaps)));
+    // Flap times anchor to the warmup boundary; route the overrides into
+    // the params so shortened runs still see their outages.
+    if (flags.has("warmup")) {
+      p.warmup_sec = flags.get_double("warmup", p.warmup_sec);
+    }
+    if (flags.has("duration")) {
+      p.duration_sec = flags.get_double("duration", p.duration_sec);
+    }
+    p.seed = pt.seed;
+    return core::chaos_spec(p);
+  }
+  return std::nullopt;
+}
+
 core::Scenario build_scenario(const std::string& which,
                               const core::SweepPoint& pt,
                               const util::Flags& flags) {
+  if (std::optional<core::TopoSpec> spec = build_point_spec(which, pt, flags)) {
+    return core::make_topo_scenario(*spec);
+  }
   const auto as_size = [](double v) { return static_cast<std::size_t>(v); };
   const auto as_u32 = [](double v) { return static_cast<std::uint32_t>(v); };
   if (which == "fig2" || which == "oneway") {
@@ -178,70 +261,6 @@ core::Scenario build_scenario(const std::string& which,
     return core::four_switch_chain(as_size(param(pt, flags, "conns", 50)),
                                    pt.seed);
   }
-  if (which == "ring") {
-    core::RingParams p;
-    p.switches = as_size(param(pt, flags, "switches", 6));
-    p.flows = as_size(param(pt, flags, "conns", 12));
-    p.seed = pt.seed;
-    return core::ring_scenario(p);
-  }
-  if (which == "parking-lot") {
-    core::ParkingLotParams p;
-    p.hops = as_size(param(pt, flags, "hops", 4));
-    p.long_flows = as_size(param(pt, flags, "long-flows", 128));
-    p.cross_per_hop = as_size(param(pt, flags, "cross-per-hop", 96));
-    p.seed = pt.seed;
-    return core::parking_lot_scenario(p);
-  }
-  if (which == "waxman") {
-    core::WaxmanParams p;
-    p.switches = as_size(param(pt, flags, "switches", 8));
-    p.flows = as_size(param(pt, flags, "conns", 32));
-    p.seed = pt.seed;
-    return core::waxman_scenario(p);
-  }
-  if (which == "red-wave") {
-    core::RedWaveParams p;
-    p.hops = as_size(param(pt, flags, "hops", static_cast<double>(p.hops)));
-    p.tau_sec = param(pt, flags, "tau", p.tau_sec);
-    p.buffer = as_size(param(pt, flags, "buffer",
-                             static_cast<double>(p.buffer)));
-    p.flows = as_size(param(pt, flags, "conns",
-                            static_cast<double>(p.flows)));
-    const std::string qdisc = flags.get("qdisc");
-    if (!qdisc.empty()) {
-      const net::QdiscChoice& choice =
-          net::qdisc_registry().require(qdisc, "queue discipline");
-      p.qdisc.kind = choice.kind;
-      p.qdisc.red.ecn = choice.ecn;
-    }
-    p.ecn = flags.get_bool("ecn");
-    p.seed = pt.seed;
-    return core::red_wave_scenario(p);
-  }
-  if (which == "chaos") {
-    core::ChaosParams p;
-    p.tau_sec = param(pt, flags, "tau", p.tau_sec);
-    p.buffer = as_size(param(pt, flags, "buffer",
-                             static_cast<double>(p.buffer)));
-    p.flows = as_size(param(pt, flags, "conns",
-                            static_cast<double>(p.flows)));
-    p.ge_loss_bad = param(pt, flags, "loss", p.ge_loss_bad);
-    p.outage_sec = param(pt, flags, "outage", p.outage_sec);
-    p.flap_period_sec = param(pt, flags, "flap-period", p.flap_period_sec);
-    p.flaps = as_size(param(pt, flags, "flaps",
-                            static_cast<double>(p.flaps)));
-    // Flap times anchor to the warmup boundary; route the overrides into
-    // the params so shortened runs still see their outages.
-    if (flags.has("warmup")) {
-      p.warmup_sec = flags.get_double("warmup", p.warmup_sec);
-    }
-    if (flags.has("duration")) {
-      p.duration_sec = flags.get_double("duration", p.duration_sec);
-    }
-    p.seed = pt.seed;
-    return core::chaos_scenario(p);
-  }
   throw std::invalid_argument("unknown scenario '" + which + "'");
 }
 
@@ -302,10 +321,42 @@ int main(int argc, char** argv) {
   }
   const std::string trace_prefix = flags.get("trace");
 
+  // An explicit --shards routes every point through the sharded engine
+  // (even N=1, so shard counts are byte-comparable); its per-run worker
+  // threads compose with the sweep's --jobs pool.
+  const auto shards = static_cast<std::size_t>(flags.get_int("shards"));
+  const bool sharded = flags.has("shards");
+  if (sharded) {
+    if (shards < 1) return usage(flags, "--shards must be >= 1");
+    if (!trace_prefix.empty()) {
+      return usage(flags, "--trace is not supported with --shards");
+    }
+  }
+
   core::SweepRunner runner(std::move(grid), opts);
   core::SweepTable table;
   try {
     table = runner.run([&](const core::SweepPoint& pt) {
+      if (sharded) {
+        std::optional<core::TopoSpec> spec = build_point_spec(which, pt, flags);
+        if (!spec) {
+          throw std::invalid_argument(
+              "--shards requires a topology-backed scenario "
+              "(ring|parking-lot|waxman|chaos|red-wave)");
+        }
+        if (flags.has("warmup")) {
+          spec->warmup = sim::Time::seconds(flags.get_double("warmup", 100.0));
+        }
+        if (flags.has("duration")) {
+          spec->duration =
+              sim::Time::seconds(flags.get_double("duration", 400.0));
+        }
+        core::ShardedEngine engine(
+            *spec, shards, audit_mode.value_or(core::kDefaultAuditMode));
+        core::ScenarioSummary s =
+            core::summarize_result(engine.run(), spec->epoch_gap_sec);
+        return core::summary_row(pt, s);
+      }
       core::Scenario sc = build_scenario(which, pt, flags);
       if (flags.has("warmup")) {
         sc.warmup = sim::Time::seconds(flags.get_double("warmup", 100.0));
